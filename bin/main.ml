@@ -1,0 +1,471 @@
+(* deconv-cli: command-line interface to the deconvolution library.
+
+   Subcommands:
+     simulate        generate population-level data from a built-in single-cell profile
+     deconvolve      estimate a single-cell profile from a measurements CSV
+     kernel          dump the population kernel Q(phi, t) as CSV
+     celltypes       print simulated cell-type fractions over time
+     identifiability singular spectrum of the forward operator for a schedule
+     schedule        D-optimal measurement times for a sampling budget
+*)
+
+open Numerics
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (deterministic).")
+
+let cells_arg =
+  Arg.(value & opt int 4000 & info [ "cells" ] ~docv:"N" ~doc:"Number of simulated founder cells.")
+
+let phi_bins_arg =
+  Arg.(value & opt int 201 & info [ "phi-bins" ] ~docv:"N" ~doc:"Number of phase bins.")
+
+let knots_arg =
+  Arg.(value & opt int 12 & info [ "knots" ] ~docv:"N" ~doc:"Natural-spline knots (basis size).")
+
+let times_arg =
+  let doc = "Measurement times in minutes, comma separated (default 0,15,...,180)." in
+  Arg.(value & opt (some string) None & info [ "times" ] ~docv:"T1,T2,..." ~doc)
+
+let parse_times = function
+  | None -> Dataio.Datasets.lv_measurement_times
+  | Some s ->
+    let fields = String.split_on_char ',' s in
+    Vec.of_list (List.map (fun f -> float_of_string (String.trim f)) fields)
+
+let mu_sst_arg =
+  Arg.(value & opt float 0.15
+       & info [ "mu-sst" ] ~docv:"PHI" ~doc:"Mean SW->ST transition phase (paper 2011: 0.15).")
+
+let cycle_arg =
+  Arg.(value & opt float 150.0
+       & info [ "cycle" ] ~docv:"MIN" ~doc:"Mean cell cycle time in minutes.")
+
+let linear_volume_arg =
+  Arg.(value & flag
+       & info [ "linear-volume" ] ~doc:"Use the 2009 linear volume model instead of eq. 11.")
+
+let params_of mu_sst cycle linear =
+  {
+    Cellpop.Params.paper_2011 with
+    Cellpop.Params.mu_sst;
+    mean_cycle_minutes = cycle;
+    volume_model = (if linear then Cellpop.Params.Linear else Cellpop.Params.Smooth);
+  }
+
+let profile_arg =
+  let doc =
+    "Built-in single-cell profile: lv-x1, lv-x2, ftsz, goodwin, pulse or constant."
+  in
+  Arg.(value & opt string "pulse" & info [ "profile" ] ~docv:"NAME" ~doc)
+
+let resolve_profile = function
+  | "pulse" -> Biomodels.Gene_profile.gaussian_pulse ~center:0.5 ~width:0.12 ~height:4.0 ()
+  | "constant" -> Biomodels.Gene_profile.constant 1.0
+  | "ftsz" -> Biomodels.Ftsz.profile
+  | "goodwin" ->
+    let phases, values =
+      Biomodels.Goodwin.phase_profile Biomodels.Goodwin.default_params
+        ~x0:Biomodels.Goodwin.default_x0 ~n_phi:400
+    in
+    fun phi -> Interp.linear_clamped ~x:phases ~y:values phi
+  | ("lv-x1" | "lv-x2") as which ->
+    let phases, f1, f2 =
+      Biomodels.Lotka_volterra.phase_profiles Biomodels.Lotka_volterra.default_params
+        ~x0:Biomodels.Lotka_volterra.default_x0 ~n_phi:400
+    in
+    let values = if which = "lv-x1" then f1 else f2 in
+    fun phi -> Interp.linear_clamped ~x:phases ~y:values phi
+  | other -> failwith (Printf.sprintf "unknown profile %S" other)
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+
+let noise_arg =
+  Arg.(value & opt float 0.0
+       & info [ "noise" ] ~docv:"FRAC" ~doc:"Gaussian noise level as a fraction of magnitude.")
+
+(* ---------------- simulate ---------------- *)
+
+let simulate profile_name times seed cells phi_bins mu_sst cycle linear noise output =
+  let times = parse_times times in
+  let params = params_of mu_sst cycle linear in
+  let profile = resolve_profile profile_name in
+  let rng = Rng.create seed in
+  let snapshots = Cellpop.Population.simulate params ~rng:(Rng.split rng) ~n0:cells ~times in
+  let clean =
+    Array.map (Cellpop.Population.mean_signal params (fun ~phi -> profile phi)) snapshots
+  in
+  let noise_model =
+    if noise > 0.0 then Deconv.Noise.Gaussian_fraction noise else Deconv.Noise.No_noise
+  in
+  let noisy, sigmas = Deconv.Noise.apply noise_model (Rng.split rng) clean in
+  ignore phi_bins;
+  (match output with
+  | Some path ->
+    Dataio.Csv.write_columns ~path ~header:[ "minutes"; "g"; "sigma" ]
+      ~columns:[ times; noisy; sigmas ];
+    Printf.printf "wrote %d measurements to %s\n" (Array.length times) path
+  | None ->
+    let t = Dataio.Table.create ~title:"simulated population data"
+        ~headers:[ "minutes"; "g"; "sigma" ] in
+    Dataio.Table.add_rows t [ times; noisy; sigmas ];
+    Dataio.Table.print t);
+  0
+
+let simulate_cmd =
+  let term =
+    Term.(
+      const simulate $ profile_arg $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ mu_sst_arg
+      $ cycle_arg $ linear_volume_arg $ noise_arg $ output_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Generate population-level data from a single-cell profile.")
+    term
+
+(* ---------------- deconvolve ---------------- *)
+
+let lambda_arg =
+  Arg.(value & opt (some float) None
+       & info [ "lambda" ] ~docv:"L" ~doc:"Fixed smoothing parameter (default: select by GCV).")
+
+let no_positivity = Arg.(value & flag & info [ "no-positivity" ] ~doc:"Drop the positivity constraint.")
+let no_conservation = Arg.(value & flag & info [ "no-conservation" ] ~doc:"Drop division conservation.")
+let no_rate = Arg.(value & flag & info [ "no-rate-continuity" ] ~doc:"Drop rate continuity (sec 3.2).")
+
+let bootstrap_arg =
+  Arg.(value & opt int 0
+       & info [ "bootstrap" ] ~docv:"B"
+           ~doc:"Number of residual-bootstrap replicates for 90% bands (0 = off).")
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"MEASUREMENTS.CSV" ~doc:"CSV with columns minutes,g[,sigma].")
+
+let kernel_file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "kernel" ] ~docv:"FILE"
+           ~doc:"Reuse a kernel saved with `kernel --save` instead of simulating one.")
+
+let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons no_rate
+    bootstrap kernel_file output =
+  let _, columns = Dataio.Csv.read_columns ~path:input in
+  let times, g, sigmas =
+    match columns with
+    | [ t; g ] -> (t, g, None)
+    | [ t; g; s ] -> (t, g, Some s)
+    | _ -> failwith "expected 2 or 3 columns: minutes,g[,sigma]"
+  in
+  (* Accept unsorted CSVs: order all columns by time. *)
+  let order = Array.init (Array.length times) Fun.id in
+  Array.sort (fun a b -> compare times.(a) times.(b)) order;
+  let reorder v = Array.map (fun i -> v.(i)) order in
+  let times = reorder times in
+  let g = reorder g in
+  let sigmas = Option.map reorder sigmas in
+  let params = params_of mu_sst cycle linear in
+  let rng = Rng.create seed in
+  let kernel =
+    match kernel_file with
+    | Some path ->
+      let k = Cellpop.Kernel.load ~path in
+      let kt = k.Cellpop.Kernel.times in
+      if Array.length kt <> Array.length times then
+        failwith "saved kernel has a different number of time points than the measurements";
+      Array.iteri
+        (fun i t ->
+          if Float.abs (t -. kt.(i)) > 1e-6 then
+            failwith
+              (Printf.sprintf "saved kernel time %g does not match measurement time %g" kt.(i) t))
+        times;
+      k
+    | None ->
+      Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.split rng) ~n_cells:cells ~times
+        ~n_phi:phi_bins
+  in
+  let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:knots in
+  let problem =
+    Deconv.Problem.create ~use_positivity:(not no_pos) ~use_conservation:(not no_cons)
+      ~use_rate_continuity:(not no_rate) ?sigmas ~kernel ~basis ~measurements:g ~params ()
+  in
+  let lambda =
+    match lambda with
+    | Some l -> l
+    | None -> Deconv.Lambda.select problem ~method_:`Gcv ~rng:(Rng.split rng) ()
+  in
+  let estimate = Deconv.Solver.solve ~lambda problem in
+  Printf.printf "lambda = %.4g, weighted misfit = %.4g, roughness = %.4g, active bounds = %d\n"
+    lambda estimate.Deconv.Solver.data_misfit estimate.Deconv.Solver.roughness
+    estimate.Deconv.Solver.active_positivity;
+  (if sigmas <> None then begin
+     (* With real per-measurement sigmas the lack-of-fit test is meaningful. *)
+     let report = Deconv.Diagnostics.analyze problem estimate in
+     Printf.printf "model adequacy: %s -> %s\n"
+       (Deconv.Diagnostics.to_string report)
+       (if Deconv.Diagnostics.adequate report then "OK"
+        else "REJECTED (check kernel parameters and sigma column)")
+   end);
+  let minutes = Array.map (fun phi -> phi *. cycle) kernel.Cellpop.Kernel.phases in
+  let bands =
+    if bootstrap > 0 then begin
+      let b =
+        Deconv.Bootstrap.residual ~replicates:bootstrap ~level:0.9 problem estimate
+          ~rng:(Rng.split rng)
+      in
+      Printf.printf "bootstrap (%d replicates): mean 90%% band width %.4g\n" bootstrap
+        (Vec.mean (Deconv.Bootstrap.width b));
+      Some b
+    end
+    else None
+  in
+  (match output with
+  | Some path ->
+    let header, columns =
+      match bands with
+      | None ->
+        ( [ "phi"; "minutes"; "f" ],
+          [ kernel.Cellpop.Kernel.phases; minutes; estimate.Deconv.Solver.profile ] )
+      | Some b ->
+        ( [ "phi"; "minutes"; "f"; "lower90"; "upper90" ],
+          [ kernel.Cellpop.Kernel.phases; minutes; estimate.Deconv.Solver.profile;
+            b.Deconv.Bootstrap.lower; b.Deconv.Bootstrap.upper ] )
+    in
+    Dataio.Csv.write_columns ~path ~header ~columns;
+    Printf.printf "wrote deconvolved profile (%d points) to %s\n"
+      (Array.length kernel.Cellpop.Kernel.phases) path
+  | None ->
+    Dataio.Ascii_plot.print ~title:"deconvolved single-cell profile"
+      ([
+         { Dataio.Ascii_plot.label = "f(phi), minutes axis"; glyph = 'o'; xs = minutes;
+           ys = estimate.Deconv.Solver.profile };
+       ]
+      @
+      match bands with
+      | None -> []
+      | Some b ->
+        [
+          { Dataio.Ascii_plot.label = "90% lower"; glyph = '.'; xs = minutes;
+            ys = b.Deconv.Bootstrap.lower };
+          { Dataio.Ascii_plot.label = "90% upper"; glyph = '\''; xs = minutes;
+            ys = b.Deconv.Bootstrap.upper };
+        ]));
+  0
+
+let deconvolve_cmd =
+  let term =
+    Term.(
+      const deconvolve $ input_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg $ mu_sst_arg
+      $ cycle_arg $ linear_volume_arg $ lambda_arg $ no_positivity $ no_conservation $ no_rate
+      $ bootstrap_arg $ kernel_file_arg $ output_arg)
+  in
+  Cmd.v
+    (Cmd.info "deconvolve"
+       ~doc:"Estimate the single-cell expression profile behind a population time course.")
+    term
+
+(* ---------------- kernel ---------------- *)
+
+let kernel_cmd =
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Save the kernel in the loadable format for `deconvolve --kernel`.")
+  in
+  let run times seed cells phi_bins mu_sst cycle linear save output =
+    let times = parse_times times in
+    let params = params_of mu_sst cycle linear in
+    let kernel =
+      Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create seed) ~n_cells:cells
+        ~times ~n_phi:phi_bins
+    in
+    (match save with
+    | Some path ->
+      Cellpop.Kernel.save kernel ~path;
+      Printf.printf "saved reusable kernel to %s\n" path
+    | None -> ());
+    (match output with
+    | Some path ->
+      let header =
+        "phi" :: List.map (fun t -> Printf.sprintf "t%g" t) (Array.to_list times)
+      in
+      let columns =
+        kernel.Cellpop.Kernel.phases
+        :: List.init (Array.length times) (fun m -> Cellpop.Kernel.row kernel m)
+      in
+      Dataio.Csv.write_columns ~path ~header ~columns;
+      Printf.printf "wrote kernel (%d phases x %d times) to %s\n" phi_bins (Array.length times)
+        path
+    | None ->
+      Printf.printf "kernel normalization error: %.2e\n" (Cellpop.Kernel.check_normalization kernel);
+      Array.iteri
+        (fun m t ->
+          let row = Cellpop.Kernel.row kernel m in
+          let mode = kernel.Cellpop.Kernel.phases.(Vec.argmax row) in
+          Printf.printf "t = %6.1f min: mode of Q at phi = %.3f, max = %.3f\n" t mode
+            (Vec.max row))
+        times);
+    0
+  in
+  let term =
+    Term.(
+      const run $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ mu_sst_arg $ cycle_arg
+      $ linear_volume_arg $ save_arg $ output_arg)
+  in
+  Cmd.v (Cmd.info "kernel" ~doc:"Estimate and inspect the population kernel Q(phi, t).") term
+
+(* ---------------- celltypes ---------------- *)
+
+let celltypes_cmd =
+  let run times seed cells mu_sst cycle linear =
+    let times =
+      match times with None -> Dataio.Datasets.judd_times | Some _ -> parse_times times
+    in
+    let params = params_of mu_sst cycle linear in
+    let snapshots =
+      Cellpop.Population.simulate params ~rng:(Rng.create seed) ~n0:cells ~times
+    in
+    let f = Cellpop.Celltype.fractions_over_time Cellpop.Celltype.mid_boundaries snapshots in
+    let t =
+      Dataio.Table.create ~title:"cell-type fractions (mid boundaries)"
+        ~headers:[ "minutes"; "SW"; "STE"; "STEPD"; "STLPD" ]
+    in
+    Dataio.Table.add_rows t [ times; Mat.col f 0; Mat.col f 1; Mat.col f 2; Mat.col f 3 ];
+    Dataio.Table.print t;
+    0
+  in
+  let term =
+    Term.(const run $ times_arg $ seed_arg $ cells_arg $ mu_sst_arg $ cycle_arg $ linear_volume_arg)
+  in
+  Cmd.v (Cmd.info "celltypes" ~doc:"Simulate the cell-type distribution over time (fig 4).") term
+
+(* ---------------- identifiability ---------------- *)
+
+let identifiability_cmd =
+  let run times seed cells phi_bins knots mu_sst cycle linear =
+    let times = parse_times times in
+    let params = params_of mu_sst cycle linear in
+    let kernel =
+      Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create seed) ~n_cells:cells
+        ~times ~n_phi:phi_bins
+    in
+    let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:knots in
+    let report = Deconv.Identifiability.analyze kernel basis in
+    Printf.printf "singular values: %s\n"
+      (String.concat " "
+         (Array.to_list
+            (Array.map (Printf.sprintf "%.3g") report.Deconv.Identifiability.singular_values)));
+    Printf.printf "condition number: %.3g\n" report.Deconv.Identifiability.condition;
+    List.iter
+      (fun noise ->
+        Printf.printf "identifiable modes at %.1f%% relative noise: %d\n" (100.0 *. noise)
+          (Deconv.Identifiability.effective_rank report ~relative_noise:noise))
+      [ 0.001; 0.01; 0.1 ];
+    0
+  in
+  let term =
+    Term.(
+      const run $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg $ mu_sst_arg
+      $ cycle_arg $ linear_volume_arg)
+  in
+  Cmd.v
+    (Cmd.info "identifiability"
+       ~doc:"Singular spectrum of the forward operator for a measurement schedule.")
+    term
+
+(* ---------------- schedule ---------------- *)
+
+let schedule_cmd =
+  let budget_arg =
+    Arg.(value & opt int 9 & info [ "budget" ] ~docv:"N" ~doc:"Number of samples to place.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 180.0 & info [ "horizon" ] ~docv:"MIN" ~doc:"Experiment length, minutes.")
+  in
+  let step_arg =
+    Arg.(value & opt float 5.0 & info [ "step" ] ~docv:"MIN" ~doc:"Candidate-time spacing.")
+  in
+  let run budget horizon step seed cells phi_bins knots mu_sst cycle linear =
+    let params = params_of mu_sst cycle linear in
+    let n_candidates = (int_of_float (horizon /. step)) + 1 in
+    let pool = Array.init n_candidates (fun i -> step *. float_of_int i) in
+    let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:knots in
+    let candidate =
+      Deconv.Schedule.candidates params ~rng:(Rng.create seed) ~n_cells:cells ~times:pool
+        ~n_phi:phi_bins ~basis
+    in
+    let chosen = Deconv.Schedule.greedy candidate ~budget in
+    let chosen_times = Deconv.Schedule.times_of candidate chosen in
+    Printf.printf "D-optimal schedule (%d samples over %.0f minutes):\n  %s\n" budget horizon
+      (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%g") chosen_times)));
+    Printf.printf "log-det information: %.3f\n"
+      (Deconv.Schedule.log_det_information candidate.Deconv.Schedule.design ~rows:chosen
+         ~ridge:1e-8);
+    0
+  in
+  let term =
+    Term.(
+      const run $ budget_arg $ horizon_arg $ step_arg $ seed_arg $ cells_arg $ phi_bins_arg
+      $ knots_arg $ mu_sst_arg $ cycle_arg $ linear_volume_arg)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Choose D-optimal measurement times for a sampling budget.")
+    term
+
+(* ---------------- calibrate ---------------- *)
+
+let calibrate_cmd =
+  let input_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FRACTIONS.CSV"
+             ~doc:"CSV with columns minutes,SW,STE,STEPD,STLPD (default: embedded Judd data).")
+  in
+  let run input seed cells =
+    let observation =
+      match input with
+      | None -> Cellpop.Calibrate.judd
+      | Some path ->
+        let _, columns = Dataio.Csv.read_columns ~path in
+        (match columns with
+        | [ t; sw; ste; stepd; stlpd ] ->
+          { Cellpop.Calibrate.times = t;
+            fractions =
+              Mat.init (Array.length t) 4 (fun i j ->
+                  match j with 0 -> sw.(i) | 1 -> ste.(i) | 2 -> stepd.(i) | _ -> stlpd.(i)) }
+        | _ -> failwith "expected 5 columns: minutes,SW,STE,STEPD,STLPD")
+    in
+    let fitted =
+      Cellpop.Calibrate.fit ~n_cells:cells ~seed ~base:Cellpop.Params.paper_2011
+        ~boundaries:Cellpop.Celltype.mid_boundaries observation
+    in
+    let p = fitted.Cellpop.Calibrate.params in
+    Printf.printf "fitted asynchrony parameters (%d simulator evaluations):\n"
+      fitted.Cellpop.Calibrate.evaluations;
+    Printf.printf "  mu_sst             = %.4f\n" p.Cellpop.Params.mu_sst;
+    Printf.printf "  mean cycle time    = %.1f min\n" p.Cellpop.Params.mean_cycle_minutes;
+    Printf.printf "  cycle-time CV      = %.4f\n" p.Cellpop.Params.cv_cycle;
+    Printf.printf "  rms fraction error = %.4f\n" (sqrt fitted.Cellpop.Calibrate.objective_value);
+    Printf.printf
+      "use these with `deconvolve --mu-sst %.4f --cycle %.1f` for data from this culture\n"
+      p.Cellpop.Params.mu_sst p.Cellpop.Params.mean_cycle_minutes;
+    0
+  in
+  let term = Term.(const run $ input_arg $ seed_arg $ cells_arg) in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Fit the asynchrony model to a cell-type fraction time course.")
+    term
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "in-silico synchronization of cellular populations by expression deconvolution" in
+  let info = Cmd.info "deconv-cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            simulate_cmd; deconvolve_cmd; kernel_cmd; celltypes_cmd; identifiability_cmd;
+            schedule_cmd; calibrate_cmd;
+          ]))

@@ -1,0 +1,54 @@
+(* The paper's section 4.3 application (Fig. 5): ftsZ expression in
+   Caulobacter. FtsZ is transcribed only after DNA replication begins at
+   the SW->ST transition; that delay (and the steep post-peak drop) is
+   invisible in the population-level time course but is revealed by
+   deconvolution.
+
+   The population data here is synthetic (the McGrath et al. microarray
+   dataset is not redistributable): the documented single-cell profile is
+   pushed through the forward model with 5% measurement noise, which
+   preserves exactly the feature-recovery question the paper's figure
+   makes. See DESIGN.md, 'Substitutions'.
+
+   Run with: dune exec examples/ftsz_caulobacter.exe *)
+
+open Numerics
+
+let () =
+  let times = Dataio.Datasets.ftsz_measurement_times in
+  let config =
+    { (Deconv.Pipeline.default_config ~times) with
+      Deconv.Pipeline.noise = Deconv.Noise.Gaussian_fraction 0.05;
+      seed = 5;
+    }
+  in
+  let run = Deconv.Pipeline.run config ~profile:Biomodels.Ftsz.profile in
+
+  Printf.printf "ftsZ deconvolution (paper Fig. 5)\n\n";
+  Dataio.Ascii_plot.print ~title:"population ftsZ expression G(t) -- what the microarray sees"
+    [
+      { Dataio.Ascii_plot.label = "population"; glyph = '#'; xs = times;
+        ys = run.Deconv.Pipeline.noisy };
+    ];
+  print_newline ();
+  let minutes, deconvolved = Deconv.Pipeline.deconvolved_vs_minutes run in
+  Dataio.Ascii_plot.print
+    ~title:"deconvolved (o) vs true single-cell (*) ftsZ expression, simulated minutes"
+    [
+      { Dataio.Ascii_plot.label = "single-cell truth"; glyph = '*'; xs = minutes;
+        ys = run.Deconv.Pipeline.truth };
+      { Dataio.Ascii_plot.label = "deconvolved"; glyph = 'o'; xs = minutes; ys = deconvolved };
+    ];
+  print_newline ();
+
+  let phases = run.Deconv.Pipeline.phases in
+  let estimate = run.Deconv.Pipeline.estimate.Deconv.Solver.profile in
+  let g = run.Deconv.Pipeline.noisy in
+  Printf.printf "early population signal (t=13min) / peak: %.2f -- the delay is hidden\n"
+    (g.(1) /. Vec.max g);
+  Printf.printf "transcription delay visible after deconvolution: %b\n"
+    (Biomodels.Ftsz.delay_visible ~phases ~values:estimate ~threshold:0.06);
+  Printf.printf "post-peak drop with no subsequent increase:      %b\n"
+    (Biomodels.Ftsz.post_peak_monotone_drop ~phases ~values:estimate ~tolerance:0.08);
+  Printf.printf "deconvolved peak phase: %.2f (biology: ~0.4)\n" phases.(Vec.argmax estimate);
+  Printf.printf "recovery vs truth: %s\n" (Deconv.Metrics.to_string run.Deconv.Pipeline.recovery)

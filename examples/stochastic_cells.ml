@@ -1,0 +1,109 @@
+(* Deconvolution with intrinsic single-cell noise.
+
+   The paper defines asynchronous variability as population structure that
+   exists "independent of any stochasticity in the observable of interest"
+   (§1). Here every cell is genuinely stochastic: its expression follows an
+   exact Gillespie simulation of the Lotka-Volterra reaction network in a
+   finite reaction volume. The population average then carries BOTH kinds
+   of variability, and the deconvolution should recover the ensemble-mean
+   single-cell profile.
+
+   Run with: dune exec examples/stochastic_cells.exe            (volume 300)
+             dune exec examples/stochastic_cells.exe -- 50      (noisier cells) *)
+
+open Numerics
+
+let () =
+  let volume = if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 300.0 in
+  let p = Biomodels.Lotka_volterra.default_params in
+  let network =
+    Stochastic.Networks.lotka_volterra ~a:p.Biomodels.Lotka_volterra.a
+      ~b:p.Biomodels.Lotka_volterra.b ~c:p.Biomodels.Lotka_volterra.c
+      ~d:p.Biomodels.Lotka_volterra.d ~volume
+  in
+  let x0 = Stochastic.Networks.concentrations_to_counts ~volume Biomodels.Lotka_volterra.default_x0 in
+  let rng = Rng.create 99 in
+
+  (* A pool of exact single-cell trajectories over one cycle (species x1),
+     sampled on a phase grid. Each simulated cell will draw one. *)
+  let n_pool = 120 in
+  let n_phi = 201 in
+  let period = 150.0 in
+  let phase_grid = Array.init n_phi (fun j -> (float_of_int j +. 0.5) /. float_of_int n_phi) in
+  Printf.printf "simulating %d exact stochastic cells (volume %.0f)...\n%!" n_pool volume;
+  let pool =
+    Array.init n_pool (fun _ ->
+        let trajectory =
+          Stochastic.Gillespie.direct network ~rng:(Rng.split rng) ~x0 ~t0:0.0 ~t1:(period +. 1.0)
+        in
+        Array.map
+          (fun phi ->
+            Stochastic.Gillespie.value_at trajectory ~species:0 (phi *. period) /. volume)
+          phase_grid)
+  in
+  (* Ensemble mean =~ the deterministic single-cell profile. *)
+  let ensemble_mean =
+    Array.init n_phi (fun j ->
+        let acc = ref 0.0 in
+        Array.iter (fun cell -> acc := !acc +. cell.(j)) pool;
+        !acc /. float_of_int n_pool)
+  in
+  let intrinsic_cv =
+    let mid = n_phi / 2 in
+    let values = Array.map (fun cell -> cell.(mid)) pool in
+    Stats.cv values
+  in
+  Printf.printf "intrinsic cell-to-cell CV at mid-cycle: %.2f\n%!" intrinsic_cv;
+
+  (* Population measurement: each cell of a simulated asynchronous culture
+     expresses a randomly drawn stochastic trajectory at its own phase. *)
+  let params = Cellpop.Params.paper_2011 in
+  let times = Dataio.Datasets.lv_measurement_times in
+  let snapshots =
+    Cellpop.Population.simulate params ~rng:(Rng.split rng) ~n0:4000 ~times
+  in
+  let population_signal =
+    Array.map
+      (fun (s : Cellpop.Population.snapshot) ->
+        let num = ref 0.0 and den = ref 0.0 in
+        Array.iter
+          (fun (c : Cellpop.Cell.t) ->
+            let v = Cellpop.Cell.volume params c in
+            let cell_profile = Rng.pick rng pool in
+            let expression =
+              Interp.linear_clamped ~x:phase_grid ~y:cell_profile c.Cellpop.Cell.phase
+            in
+            num := !num +. (v *. expression);
+            den := !den +. v)
+          s.Cellpop.Population.cells;
+        !num /. !den)
+      snapshots
+  in
+
+  (* Deconvolve against a kernel simulated independently. *)
+  let kernel =
+    Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.split rng) ~n_cells:4000 ~times
+      ~n_phi
+  in
+  let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:12 in
+  let problem =
+    Deconv.Problem.create ~kernel ~basis ~measurements:population_signal ~params ()
+  in
+  let lambda = Deconv.Lambda.select problem ~method_:`Gcv () in
+  let estimate = Deconv.Solver.solve ~lambda problem in
+
+  let recovery = Deconv.Metrics.compare ~truth:ensemble_mean ~estimate:estimate.Deconv.Solver.profile in
+  Printf.printf "lambda = %.3g\n" lambda;
+  Printf.printf "recovery of the ensemble-mean single-cell profile: %s\n"
+    (Deconv.Metrics.to_string recovery);
+  Dataio.Ascii_plot.print
+    ~title:"ensemble mean (*) vs deconvolved (o) with stochastic single cells"
+    [
+      { Dataio.Ascii_plot.label = "ensemble-mean truth"; glyph = '*'; xs = phase_grid;
+        ys = ensemble_mean };
+      { Dataio.Ascii_plot.label = "deconvolved"; glyph = 'o'; xs = phase_grid;
+        ys = estimate.Deconv.Solver.profile };
+    ];
+  Printf.printf
+    "\n=> asynchronous variability is removed by deconvolution even when cells are\n\
+    \   individually stochastic; what remains estimable is the ensemble mean.\n"

@@ -1,0 +1,79 @@
+open Numerics
+
+type params = { a : float; b : float; c : float; d : float; e : float; f : float; n : float }
+
+let default_params =
+  { a = 1.558000; b = 0.025967; c = 0.025967; d = 0.025967; e = 0.025967; f = 0.025967; n = 10.0 }
+
+let default_x0 = [| 0.5; 0.5; 0.5 |]
+
+let system p : Ode.system =
+ fun _t y ->
+  let x = y.(0) and yy = y.(1) and z = y.(2) in
+  [|
+    (p.a /. (1.0 +. (Float.max 0.0 z ** p.n))) -. (p.b *. x);
+    (p.c *. x) -. (p.d *. yy);
+    (p.e *. yy) -. (p.f *. z);
+  |]
+
+let simulate ?(rtol = 1e-8) p ~x0 ~times = Ode.rk45 ~rtol ~atol:1e-10 (system p) ~y0:x0 ~times
+
+let crossings_of sol eq ~component =
+  let n = Array.length sol.Ode.times in
+  let out = ref [] in
+  for i = 0 to n - 2 do
+    let a = Mat.get sol.Ode.states i component -. eq in
+    let b = Mat.get sol.Ode.states (i + 1) component -. eq in
+    if a < 0.0 && b >= 0.0 then begin
+      let t0 = sol.Ode.times.(i) and t1 = sol.Ode.times.(i + 1) in
+      out := (t0 +. ((t1 -. t0) *. (-.a /. (b -. a)))) :: !out
+    end
+  done;
+  List.rev !out
+
+let period ?(t_max = 3000.0) ?(transient = 600.0) p ~x0 =
+  let n = 30000 in
+  let times = Vec.linspace 0.0 t_max n in
+  let sol = simulate p ~x0 ~times in
+  (* Reference level: mean of x after the transient. *)
+  let post = ref [] in
+  for i = n - 1 downto 0 do
+    if times.(i) >= transient then post := Mat.get sol.Ode.states i 0 :: !post
+  done;
+  let mean_level = Vec.mean (Vec.of_list !post) in
+  let crossings =
+    List.filter (fun t -> t >= transient) (crossings_of sol mean_level ~component:0)
+  in
+  match crossings with
+  | c0 :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    (last -. c0) /. float_of_int (List.length rest)
+  | _ -> failwith "Goodwin.period: no sustained oscillation found"
+
+let phase_profile ?(species = 0) p ~x0 ~n_phi =
+  assert (n_phi >= 2);
+  assert (species >= 0 && species < 3);
+  let t = period p ~x0 in
+  let transient = 600.0 in
+  (* Align the cycle start to an upward mean-crossing after the transient. *)
+  let probe_times = Vec.linspace 0.0 (transient +. (3.0 *. t)) 20000 in
+  let sol = simulate p ~x0 ~times:probe_times in
+  let post_mean =
+    let acc = ref [] in
+    Array.iteri
+      (fun i ti -> if ti >= transient then acc := Mat.get sol.Ode.states i species :: !acc)
+      probe_times;
+    Vec.mean (Vec.of_list !acc)
+  in
+  let start =
+    match List.filter (fun c -> c >= transient) (crossings_of sol post_mean ~component:species) with
+    | c :: _ -> c
+    | [] -> transient
+  in
+  let bin_width = 1.0 /. float_of_int n_phi in
+  let phases = Array.init n_phi (fun j -> (float_of_int j +. 0.5) *. bin_width) in
+  let sample_times = Array.map (fun phi -> start +. (phi *. t)) phases in
+  let times_full = Array.append [| 0.0 |] sample_times in
+  let sol2 = simulate p ~x0 ~times:times_full in
+  let profile = Array.init n_phi (fun j -> Mat.get sol2.Ode.states (j + 1) species) in
+  (phases, profile)

@@ -1,0 +1,29 @@
+(** Protein dynamics downstream of a deconvolved mRNA profile.
+
+    Once deconvolution yields the single-cell mRNA concentration m(φ), the
+    corresponding protein concentration follows the linear kinetics
+
+    dp/dt = k_tl · m(φ(t)) − k_deg · p,   t = φ·T,
+
+    and, because protein numbers partition with volume at division,
+    concentration is continuous across division: the relevant single-cell
+    profile is the periodic steady state p(0) = p(1). This module computes
+    it in closed form (integrating factor + periodicity), enabling the
+    "fit single-cell models to deconvolved data" workflow of the paper's
+    §5 to chain from transcript to protein. *)
+
+open Numerics
+
+type kinetics = {
+  translation : float;  (** k_tl, protein · mRNA⁻¹ · min⁻¹ *)
+  degradation : float;  (** k_deg, min⁻¹ (> 0; includes dilution) *)
+}
+
+val steady_profile :
+  ?n_quad:int -> kinetics -> period:float -> mrna:(float -> float) -> phases:Vec.t -> Vec.t
+(** Periodic steady-state protein concentration at the given phases.
+    [n_quad] (default 2048) trapezoid panels resolve the convolution
+    integral. *)
+
+val phase_lag : mrna_peak:float -> protein_peak:float -> float
+(** Circular lag protein-after-mRNA in [0, 1). *)

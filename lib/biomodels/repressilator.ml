@@ -1,0 +1,79 @@
+open Numerics
+
+type params = { alpha : float; alpha0 : float; beta : float; n : float; timescale : float }
+
+let default_params = { alpha = 216.0; alpha0 = 0.216; beta = 5.0; n = 2.0; timescale = 0.057920 }
+
+let default_x0 = [| 1.0; 2.0; 3.0; 1.0; 2.0; 3.0 |]
+
+let system p : Ode.system =
+ fun _t y ->
+  let m i = y.(i) and pr i = y.(3 + i) in
+  let repressor i = pr ((i + 2) mod 3) in
+  Array.init 6 (fun k ->
+      let v =
+        if k < 3 then
+          (p.alpha /. (1.0 +. (Float.max 0.0 (repressor k) ** p.n))) +. p.alpha0 -. m k
+        else p.beta *. (m (k - 3) -. pr (k - 3))
+      in
+      p.timescale *. v)
+
+let simulate ?(rtol = 1e-8) p ~x0 ~times = Ode.rk45 ~rtol ~atol:1e-10 (system p) ~y0:x0 ~times
+
+let crossings_of sol level ~component ~from =
+  let n = Array.length sol.Ode.times in
+  let out = ref [] in
+  for i = 0 to n - 2 do
+    if sol.Ode.times.(i) >= from then begin
+      let a = Mat.get sol.Ode.states i component -. level in
+      let b = Mat.get sol.Ode.states (i + 1) component -. level in
+      if a < 0.0 && b >= 0.0 then begin
+        let t0 = sol.Ode.times.(i) and t1 = sol.Ode.times.(i + 1) in
+        out := (t0 +. ((t1 -. t0) *. (-.a /. (b -. a)))) :: !out
+      end
+    end
+  done;
+  List.rev !out
+
+let period ?(t_max = 3000.0) ?(transient = 600.0) p ~x0 =
+  let n = 30000 in
+  let times = Vec.linspace 0.0 t_max n in
+  let sol = simulate p ~x0 ~times in
+  let level =
+    let acc = ref [] in
+    Array.iteri (fun i ti -> if ti >= transient then acc := Mat.get sol.Ode.states i 0 :: !acc) times;
+    Vec.mean (Vec.of_list !acc)
+  in
+  match crossings_of sol level ~component:0 ~from:transient with
+  | c0 :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    (last -. c0) /. float_of_int (List.length rest)
+  | _ -> failwith "Repressilator.period: no sustained oscillation found"
+
+let phase_profile ?(species = 0) p ~x0 ~n_phi =
+  assert (n_phi >= 2);
+  assert (species >= 0 && species < 6);
+  let t = period p ~x0 in
+  let transient = 600.0 in
+  let probe_times = Vec.linspace 0.0 (transient +. (3.0 *. t)) 20000 in
+  let sol = simulate p ~x0 ~times:probe_times in
+  (* Align every species to the same reference event (an upward mean-level
+     crossing of m1) so relative phase shifts between species survive. *)
+  let level =
+    let acc = ref [] in
+    Array.iteri
+      (fun i ti -> if ti >= transient then acc := Mat.get sol.Ode.states i 0 :: !acc)
+      probe_times;
+    Vec.mean (Vec.of_list !acc)
+  in
+  let start =
+    match crossings_of sol level ~component:0 ~from:transient with
+    | c :: _ -> c
+    | [] -> transient
+  in
+  let bin_width = 1.0 /. float_of_int n_phi in
+  let phases = Array.init n_phi (fun j -> (float_of_int j +. 0.5) *. bin_width) in
+  let sample_times = Array.map (fun phi -> start +. (phi *. t)) phases in
+  let times_full = Array.append [| 0.0 |] sample_times in
+  let sol2 = simulate p ~x0 ~times:times_full in
+  (phases, Array.init n_phi (fun j -> Mat.get sol2.Ode.states (j + 1) species))

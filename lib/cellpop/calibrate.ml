@@ -1,0 +1,74 @@
+open Numerics
+
+type observation = {
+  times : Vec.t;
+  fractions : Mat.t;
+}
+
+(* Embedded digitized Judd et al. data (see Dataio.Datasets for provenance;
+   duplicated here numerically to keep cellpop free of a dataio
+   dependency). *)
+let judd =
+  {
+    times = [| 75.0; 90.0; 105.0; 120.0; 135.0; 150.0 |];
+    fractions =
+      Mat.of_rows
+        [|
+          [| 0.03; 0.80; 0.15; 0.02 |];
+          [| 0.03; 0.65; 0.28; 0.04 |];
+          [| 0.04; 0.45; 0.40; 0.11 |];
+          [| 0.06; 0.28; 0.47; 0.19 |];
+          [| 0.12; 0.18; 0.42; 0.28 |];
+          [| 0.22; 0.12; 0.35; 0.31 |];
+        |];
+  }
+
+let objective ~base ~boundaries ~n_cells ~seed observation (candidate : Params.t) =
+  let p = { base with
+            Params.mu_sst = candidate.Params.mu_sst;
+            mean_cycle_minutes = candidate.Params.mean_cycle_minutes;
+            cv_cycle = candidate.Params.cv_cycle }
+  in
+  (* Common random numbers: the same seed for every candidate makes the
+     Monte-Carlo objective a deterministic function of the parameters. *)
+  let snapshots =
+    Population.simulate p ~rng:(Rng.create seed) ~n0:n_cells ~times:observation.times
+  in
+  let simulated = Celltype.fractions_over_time boundaries snapshots in
+  let n_t, n_c = Mat.dims observation.fractions in
+  assert (Mat.dims simulated = (n_t, n_c));
+  let acc = ref 0.0 in
+  for i = 0 to n_t - 1 do
+    for j = 0 to n_c - 1 do
+      let d = Mat.get simulated i j -. Mat.get observation.fractions i j in
+      acc := !acc +. (d *. d)
+    done
+  done;
+  !acc /. float_of_int (n_t * n_c)
+
+type fitted = {
+  params : Params.t;
+  objective_value : float;
+  evaluations : int;
+}
+
+let fit ?(n_cells = 4000) ?(seed = 7) ?(max_iter = 200) ~base ~boundaries observation =
+  let lo = [| 0.05; 60.0; 0.02 |] in
+  let hi = [| 0.45; 400.0; 0.40 |] in
+  let to_params x =
+    { base with
+      Params.mu_sst = x.(0);
+      mean_cycle_minutes = x.(1);
+      cv_cycle = x.(2) }
+  in
+  let f x = objective ~base ~boundaries ~n_cells ~seed observation (to_params x) in
+  let x0 =
+    [| base.Params.mu_sst; base.Params.mean_cycle_minutes; base.Params.cv_cycle |]
+  in
+  let options = { Optimize.Nelder_mead.default_options with max_iter } in
+  let result = Optimize.Nelder_mead.minimize_bounded ~options ~initial_step:0.25 ~lo ~hi f ~x0 in
+  {
+    params = to_params result.Optimize.Nelder_mead.x;
+    objective_value = result.Optimize.Nelder_mead.f;
+    evaluations = result.Optimize.Nelder_mead.evaluations;
+  }

@@ -1,0 +1,51 @@
+(** Characterizing the population asynchrony from observable data — the
+    prerequisite the paper states for applying deconvolution to any
+    organism ("it is in principle characterizable for any system of
+    interest", §1).
+
+    The observable is a cell-type fraction time course (what Judd et al.
+    measured, paper Fig. 4); the fitted quantities are the asynchrony
+    parameters (μ_sst, mean cycle time, cycle-time CV). The fit minimizes
+    the summed squared fraction error over a Nelder–Mead search with
+    common random numbers (a fixed simulation seed), which makes the
+    Monte-Carlo objective deterministic and smooth enough for direct
+    search. *)
+
+open Numerics
+
+type observation = {
+  times : Vec.t;  (** minutes *)
+  fractions : Mat.t;  (** rows = times; columns = SW, STE, STEPD, STLPD *)
+}
+
+val judd : observation
+(** The embedded Judd et al. dataset. *)
+
+val objective :
+  base:Params.t ->
+  boundaries:Celltype.boundaries ->
+  n_cells:int ->
+  seed:int ->
+  observation ->
+  Params.t ->
+  float
+(** Mean squared fraction error of a parameter candidate. *)
+
+type fitted = {
+  params : Params.t;
+  objective_value : float;
+  evaluations : int;
+}
+
+val fit :
+  ?n_cells:int ->
+  ?seed:int ->
+  ?max_iter:int ->
+  base:Params.t ->
+  boundaries:Celltype.boundaries ->
+  observation ->
+  fitted
+(** Fit (μ_sst, mean_cycle_minutes, cv_cycle) starting from [base] (whose
+    other fields are kept); box bounds μ_sst ∈ [0.05, 0.45],
+    T ∈ [60, 400] min, cv ∈ [0.02, 0.40]. Defaults: 4000 cells, seed 7,
+    200 iterations. *)

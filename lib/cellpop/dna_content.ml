@@ -1,0 +1,41 @@
+open Numerics
+
+let replication_end_phase = 0.92
+
+let of_cell (c : Cell.t) =
+  let start = c.Cell.phi_sst in
+  let phi = c.Cell.phase in
+  if phi < start then 1.0
+  else if phi >= replication_end_phase then 2.0
+  else 1.0 +. ((phi -. start) /. (replication_end_phase -. start))
+
+let fractions (s : Population.snapshot) =
+  let n = Array.length s.Population.cells in
+  if n = 0 then (0.0, 0.0, 0.0)
+  else begin
+    let one_c = ref 0 and s_phase = ref 0 and two_c = ref 0 in
+    Array.iter
+      (fun c ->
+        let dna = of_cell c in
+        if dna <= 1.0 then incr one_c
+        else if dna >= 2.0 then incr two_c
+        else incr s_phase)
+      s.Population.cells;
+    let nf = float_of_int n in
+    (float_of_int !one_c /. nf, float_of_int !s_phase /. nf, float_of_int !two_c /. nf)
+  end
+
+let histogram ?(bins = 60) ?(measurement_cv = 0.06) rng (s : Population.snapshot) =
+  let values =
+    Array.map
+      (fun c ->
+        let true_content = of_cell c in
+        true_content *. Rng.lognormal_factor rng ~cv:measurement_cv)
+      s.Population.cells
+  in
+  Stats.histogram ~bins ~lo:0.5 ~hi:2.5 values
+
+let fractions_over_time snapshots =
+  Mat.init (Array.length snapshots) 3 (fun i j ->
+      let one_c, s_phase, two_c = fractions snapshots.(i) in
+      match j with 0 -> one_c | 1 -> s_phase | _ -> two_c)

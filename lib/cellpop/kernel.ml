@@ -1,0 +1,149 @@
+open Numerics
+
+type t = {
+  phases : Vec.t;
+  bin_width : float;
+  times : Vec.t;
+  q : Mat.t;
+  q_tilde : Mat.t;
+}
+
+(* Triangular moving average with window 2r+1; the row is renormalized by
+   the caller. Reflecting boundaries keep mass near the edges. *)
+let smooth_row window row =
+  if window <= 1 then row
+  else begin
+    let r = window / 2 in
+    let n = Array.length row in
+    let reflect i = if i < 0 then -i - 1 else if i >= n then (2 * n) - 1 - i else i in
+    Array.init n (fun i ->
+        let num = ref 0.0 and den = ref 0.0 in
+        for k = -r to r do
+          let w = float_of_int (r + 1 - abs k) in
+          num := !num +. (w *. row.(reflect (i + k)));
+          den := !den +. w
+        done;
+        !num /. !den)
+  end
+
+let of_snapshots ?(smooth_window = 1) params snapshots ~n_phi ~n0 =
+  assert (n_phi >= 2);
+  assert (Array.length snapshots >= 1);
+  let bin_width = 1.0 /. float_of_int n_phi in
+  let phases = Array.init n_phi (fun j -> (float_of_int j +. 0.5) *. bin_width) in
+  let times = Array.map (fun (s : Population.snapshot) -> s.Population.time) snapshots in
+  let n_t = Array.length snapshots in
+  let q_tilde = Mat.zeros n_t n_phi in
+  let q = Mat.zeros n_t n_phi in
+  Array.iteri
+    (fun m (s : Population.snapshot) ->
+      let row = Array.make n_phi 0.0 in
+      Array.iter
+        (fun c ->
+          let v = Cell.volume params c in
+          (* Cloud-in-cell deposit: split the cell volume between the two
+             nearest bin centers. *)
+          let pos = (c.Cell.phase /. bin_width) -. 0.5 in
+          let j0 = int_of_float (Float.floor pos) in
+          let frac = pos -. float_of_int j0 in
+          let deposit j w =
+            if j >= 0 && j < n_phi then row.(j) <- row.(j) +. (w *. v)
+            else if j < 0 then row.(0) <- row.(0) +. (w *. v)
+            else row.(n_phi - 1) <- row.(n_phi - 1) +. (w *. v)
+          in
+          deposit j0 (1.0 -. frac);
+          deposit (j0 + 1) frac)
+        s.Population.cells;
+      (* Per-founder volume density: divide by n0 and bin width. *)
+      let density = Array.map (fun x -> x /. (float_of_int n0 *. bin_width)) row in
+      let density = smooth_row smooth_window density in
+      Mat.set_row q_tilde m density;
+      let total = Vec.sum density *. bin_width in
+      if total > 0.0 then Mat.set_row q m (Array.map (fun x -> x /. total) density))
+    snapshots;
+  { phases; bin_width; times; q; q_tilde }
+
+let estimate ?smooth_window params ~rng ~n_cells ~times ~n_phi =
+  let snapshots = Population.simulate params ~rng ~n0:n_cells ~times in
+  of_snapshots ?smooth_window params snapshots ~n_phi ~n0:n_cells
+
+let row k m = Mat.row k.q m
+
+let integrate_profile k f =
+  assert (Array.length f = Array.length k.phases);
+  Array.init (Array.length k.times) (fun m ->
+      let q_row = Mat.row k.q m in
+      let acc = ref 0.0 in
+      for j = 0 to Array.length f - 1 do
+        acc := !acc +. (q_row.(j) *. f.(j))
+      done;
+      !acc *. k.bin_width)
+
+let magic = "deconv-kernel-v1"
+
+let save k ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n_phi = Array.length k.phases and n_t = Array.length k.times in
+      Printf.fprintf oc "%s,%d,%d,%.17g\n" magic n_phi n_t k.bin_width;
+      let row_of label values =
+        Printf.fprintf oc "%s,%s\n" label
+          (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") values)))
+      in
+      row_of "times" k.times;
+      row_of "phases" k.phases;
+      for m = 0 to n_t - 1 do
+        row_of "q" (Mat.row k.q m)
+      done;
+      for m = 0 to n_t - 1 do
+        row_of "qtilde" (Mat.row k.q_tilde m)
+      done)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail msg = failwith (Printf.sprintf "Kernel.load %s: %s" path msg) in
+      let line () = try input_line ic with End_of_file -> fail "truncated file" in
+      let header = String.split_on_char ',' (line ()) in
+      let n_phi, n_t, bin_width =
+        match header with
+        | [ m; a; b; w ] when m = magic ->
+          (int_of_string a, int_of_string b, float_of_string w)
+        | _ -> fail "bad header"
+      in
+      if n_phi < 2 || n_t < 1 then fail "bad dimensions";
+      let labeled expected =
+        match String.split_on_char ',' (line ()) with
+        | label :: rest when label = expected ->
+          Array.of_list (List.map float_of_string rest)
+        | label :: _ -> fail (Printf.sprintf "expected %s row, found %s" expected label)
+        | [] -> fail "empty line"
+      in
+      let times = labeled "times" in
+      let phases = labeled "phases" in
+      if Array.length times <> n_t || Array.length phases <> n_phi then
+        fail "inconsistent row lengths";
+      let read_matrix label =
+        let m = Mat.zeros n_t n_phi in
+        for r = 0 to n_t - 1 do
+          let row = labeled label in
+          if Array.length row <> n_phi then fail "inconsistent matrix row";
+          Mat.set_row m r row
+        done;
+        m
+      in
+      let q = read_matrix "q" in
+      let q_tilde = read_matrix "qtilde" in
+      { phases; bin_width; times; q; q_tilde })
+
+let check_normalization k =
+  let worst = ref 0.0 in
+  for m = 0 to Array.length k.times - 1 do
+    let integral = Vec.sum (Mat.row k.q m) *. k.bin_width in
+    worst := Float.max !worst (Float.abs (integral -. 1.0))
+  done;
+  !worst

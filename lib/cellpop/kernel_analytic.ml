@@ -1,0 +1,98 @@
+open Numerics
+
+(* The founder population has, per cell: phi_sst ~ TN(mu, sigma_s) on a
+   truncation window, T ~ TN(T_mean, sigma_T), phi_0 ~ U(0, phi_sst). While
+   no cell has divided,
+
+   Q~(phi, t) = E[ v_{phi_sst}(phi) 1{0 <= phi - t/T <= phi_sst} / phi_sst ]
+
+   integrated over the (T, phi_sst) product density. Truncation windows are
+   the same as in Cell.draw_* so the analytic kernel matches the sampler. *)
+
+let valid_until (p : Params.t) =
+  let t_min = Float.max (0.2 *. p.Params.mean_cycle_minutes)
+      (p.Params.mean_cycle_minutes -. (3.0 *. Params.cycle_std p))
+  in
+  let sst_max = Float.min 0.98 (p.Params.mu_sst +. (4.0 *. Params.sst_std p)) in
+  t_min *. (1.0 -. sst_max)
+
+(* Truncated-normal density on [lo, hi] (normalized). *)
+let truncated_density ~mean ~std ~lo ~hi x =
+  if x < lo || x > hi then 0.0
+  else begin
+    let mass =
+      Special.normal_cdf ~mean ~std hi -. Special.normal_cdf ~mean ~std lo
+    in
+    Special.normal_pdf ~mean ~std x /. mass
+  end
+
+let q_tilde ?(quad_nodes = 48) (p : Params.t) ~phi ~t =
+  assert (phi >= 0.0 && phi <= 1.0);
+  let nodes, weights = Integrate.gauss_legendre_nodes quad_nodes in
+  let t_mean = p.Params.mean_cycle_minutes in
+  let sigma_t = Params.cycle_std p in
+  let t_lo = 0.2 *. t_mean and t_hi = 3.0 *. t_mean in
+  (* Integrate T over mean +- 5 sigma intersected with the truncation. *)
+  let t_a = Float.max t_lo (t_mean -. (5.0 *. sigma_t)) in
+  let t_b = Float.min t_hi (t_mean +. (5.0 *. sigma_t)) in
+  let s_mean = p.Params.mu_sst and s_std = Params.sst_std p in
+  let s_lo = 0.02 and s_hi = 0.98 in
+  let s_a = Float.max s_lo (s_mean -. (6.0 *. s_std)) in
+  let s_b = Float.min s_hi (s_mean +. (6.0 *. s_std)) in
+  let map_node a b u = ((a +. b) /. 2.0) +. ((b -. a) /. 2.0 *. u) in
+  let acc = ref 0.0 in
+  for i = 0 to quad_nodes - 1 do
+    let cycle = map_node t_a t_b nodes.(i) in
+    let w_t =
+      weights.(i) *. ((t_b -. t_a) /. 2.0)
+      *. truncated_density ~mean:t_mean ~std:sigma_t ~lo:t_lo ~hi:t_hi cycle
+    in
+    if w_t > 0.0 then begin
+      let phi0 = phi -. (t /. cycle) in
+      if phi0 >= 0.0 && phi0 <= s_b then begin
+        (* phi0 must also be below phi_sst: integrate phi_sst from
+           max(phi0, s_a) .. s_b with the 1/phi_sst initial-phase density. *)
+        let inner_a = Float.max phi0 s_a in
+        if inner_a < s_b then begin
+          let inner = ref 0.0 in
+          for j = 0 to quad_nodes - 1 do
+            let sst = map_node inner_a s_b nodes.(j) in
+            let w_s =
+              weights.(j) *. ((s_b -. inner_a) /. 2.0)
+              *. truncated_density ~mean:s_mean ~std:s_std ~lo:s_lo ~hi:s_hi sst
+            in
+            if w_s > 0.0 then begin
+              let volume = Volume.eval p ~phi_sst:sst (Float.min 1.0 phi) in
+              inner := !inner +. (w_s *. volume /. sst)
+            end
+          done;
+          acc := !acc +. (w_t *. !inner)
+        end
+      end
+    end
+  done;
+  !acc
+
+let estimate ?quad_nodes (p : Params.t) ~times ~n_phi =
+  assert (n_phi >= 2);
+  let limit = valid_until p in
+  Array.iter (fun t -> assert (t <= limit +. 1e-9)) times;
+  let bin_width = 1.0 /. float_of_int n_phi in
+  let phases = Array.init n_phi (fun j -> (float_of_int j +. 0.5) *. bin_width) in
+  let n_t = Array.length times in
+  let q_tilde_mat = Mat.zeros n_t n_phi in
+  let q_mat = Mat.zeros n_t n_phi in
+  Array.iteri
+    (fun m t ->
+      let row = Array.map (fun phi -> q_tilde ?quad_nodes p ~phi ~t) phases in
+      Mat.set_row q_tilde_mat m row;
+      let total = Vec.sum row *. bin_width in
+      if total > 0.0 then Mat.set_row q_mat m (Array.map (fun x -> x /. total) row))
+    times;
+  {
+    Kernel.phases;
+    bin_width;
+    times = Array.copy times;
+    q = q_mat;
+    q_tilde = q_tilde_mat;
+  }

@@ -1,0 +1,34 @@
+open Numerics
+
+type volume_model = Linear | Smooth
+
+type initial_condition = Synchronized_swarmer | Uniform_phase
+
+type t = {
+  mu_sst : float;
+  cv_sst : float;
+  mean_cycle_minutes : float;
+  cv_cycle : float;
+  v0 : float;
+  volume_model : volume_model;
+  initial_condition : initial_condition;
+}
+
+let paper_2011 =
+  {
+    mu_sst = 0.15;
+    cv_sst = 0.13;
+    mean_cycle_minutes = 150.0;
+    cv_cycle = 0.1;
+    v0 = 1.0;
+    volume_model = Smooth;
+    initial_condition = Synchronized_swarmer;
+  }
+
+let plos_2009 = { paper_2011 with mu_sst = 0.25; volume_model = Linear }
+
+let sst_std p = p.cv_sst *. p.mu_sst
+
+let cycle_std p = p.cv_cycle *. p.mean_cycle_minutes
+
+let sst_density p phi = Special.normal_pdf ~mean:p.mu_sst ~std:(sst_std p) phi

@@ -1,0 +1,39 @@
+(** Population-model parameters for the Caulobacter asynchrony model
+    (paper §2.1 and §3.1). *)
+
+type volume_model =
+  | Linear  (** purely linear v(φ) of Siegal-Gaskins et al. 2009 *)
+  | Smooth  (** piecewise polynomial of paper eq. 11 with continuous v' across division *)
+
+type initial_condition =
+  | Synchronized_swarmer
+      (** batch-culture synchrony: every founder cell is a swarmer, with
+          phase uniform on [0, φ_sst_k] (paper §2.1, citing Evinger &
+          Agabian) *)
+  | Uniform_phase  (** unsynchronized control: phase uniform on [0, 1) *)
+
+type t = {
+  mu_sst : float;  (** mean SW→ST transition phase *)
+  cv_sst : float;  (** coefficient of variation of φ_sst *)
+  mean_cycle_minutes : float;  (** mean total cycle time T_k *)
+  cv_cycle : float;  (** coefficient of variation of T_k *)
+  v0 : float;  (** cell volume at φ = 1, just prior to division *)
+  volume_model : volume_model;
+  initial_condition : initial_condition;
+}
+
+val paper_2011 : t
+(** The updated model of this paper: μ_sst = 0.15, CV 0.13, 150-minute mean
+    cycle, smooth volume model. *)
+
+val plos_2009 : t
+(** The earlier model: μ_sst = 0.25, linear volume model. *)
+
+val sst_std : t -> float
+(** Standard deviation of φ_sst (= cv_sst · mu_sst). *)
+
+val cycle_std : t -> float
+
+val sst_density : t -> float -> float
+(** Gaussian density p(φ) = N(φ; μ_sst, σ_sst²) of the transition phase
+    (used by the constraint weights of paper eqs. 14–19). *)

@@ -1,0 +1,90 @@
+type snapshot = { time : float; cells : Cell.t array }
+
+(* Advance one cell by [dt] minutes, emitting it and any descendants born
+   within the window into [out]. Division times are located exactly because
+   phase is linear in time. *)
+let rec advance_cell params rng out cell dt =
+  let to_division = Cell.time_to_division cell in
+  if dt < to_division then out := Cell.advance cell dt :: !out
+  else begin
+    let remaining = dt -. to_division in
+    let swarmer = Cell.swarmer_daughter params rng in
+    let stalked = Cell.stalked_daughter params rng in
+    advance_cell params rng out swarmer remaining;
+    advance_cell params rng out stalked remaining
+  end
+
+let simulate params ~rng ~n0 ~times =
+  assert (n0 > 0);
+  let n_times = Array.length times in
+  assert (n_times >= 1);
+  for i = 0 to n_times - 2 do
+    assert (times.(i) < times.(i + 1))
+  done;
+  assert (times.(0) >= 0.0);
+  let founders = Array.init n0 (fun _ -> Cell.founder params rng) in
+  let current = ref founders in
+  let now = ref 0.0 in
+  Array.map
+    (fun t ->
+      let dt = t -. !now in
+      if dt > 0.0 then begin
+        let out = ref [] in
+        Array.iter (fun c -> advance_cell params rng out c dt) !current;
+        current := Array.of_list !out;
+        now := t
+      end;
+      { time = t; cells = Array.copy !current })
+    times
+
+let count s = Array.length s.cells
+
+let total_volume params s =
+  Array.fold_left (fun acc c -> acc +. Cell.volume params c) 0.0 s.cells
+
+let phases s = Array.map (fun (c : Cell.t) -> c.Cell.phase) s.cells
+
+let volumes params s = Array.map (Cell.volume params) s.cells
+
+let growth_rate ?discard snapshots =
+  let n = Array.length snapshots in
+  assert (n >= 2);
+  let t_min = snapshots.(0).time and t_max = snapshots.(n - 1).time in
+  let discard = match discard with Some d -> d | None -> t_min +. ((t_max -. t_min) /. 2.0) in
+  let retained =
+    Array.of_list
+      (List.filter
+         (fun s -> s.time >= discard && Array.length s.cells > 0)
+         (Array.to_list snapshots))
+  in
+  assert (Array.length retained >= 2);
+  let times = Array.map (fun s -> s.time) retained in
+  let log_counts = Array.map (fun s -> log (float_of_int (Array.length s.cells))) retained in
+  (* Least-squares slope. *)
+  let t_mean = Numerics.Stats.mean times and l_mean = Numerics.Stats.mean log_counts in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      num := !num +. ((t -. t_mean) *. (log_counts.(i) -. l_mean));
+      den := !den +. ((t -. t_mean) *. (t -. t_mean)))
+    times;
+  assert (!den > 0.0);
+  !num /. !den
+
+let euler_lotka_rate (p : Params.t) =
+  let t_cycle = p.Params.mean_cycle_minutes in
+  let s = p.Params.mu_sst in
+  let equation r = exp (-.r *. t_cycle) +. exp (-.r *. t_cycle *. (1.0 -. s)) -. 1.0 in
+  (* r is bracketed by the one-offspring (r = 0+) and symmetric-doubling
+     (ln 2 / (T(1-s))) regimes. *)
+  Numerics.Rootfind.brent equation ~a:(1e-6 /. t_cycle) ~b:(2.0 *. log 2.0 /. t_cycle)
+
+let mean_signal params f s =
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iter
+    (fun c ->
+      let v = Cell.volume params c in
+      num := !num +. (v *. f ~phi:c.Cell.phase);
+      den := !den +. v)
+    s.cells;
+  if !den = 0.0 then 0.0 else !num /. !den

@@ -1,0 +1,23 @@
+(** Quantifying how synchronized a population is — and how fast a
+    synchronized batch culture decays back to asynchrony, which is exactly
+    the information the deconvolution kernel encodes. *)
+
+open Numerics
+
+val order_parameter : Population.snapshot -> float
+(** Kuramoto order parameter R = |⟨e^{2πiφ}⟩| ∈ [0, 1]: 1 for a perfectly
+    synchronized population, ~0 for phases spread uniformly. *)
+
+val mean_phase : Population.snapshot -> float
+(** Circular mean phase in [0, 1). *)
+
+val phase_entropy : ?bins:int -> Population.snapshot -> float
+(** Normalized Shannon entropy of the phase histogram in [0, 1]:
+    0 = concentrated in one bin, 1 = uniform (default 50 bins). *)
+
+val over_time : Population.snapshot array -> Vec.t * Vec.t
+(** [(order_parameters, entropies)] per snapshot. *)
+
+val decay_time : Vec.t -> times:Vec.t -> threshold:float -> float option
+(** First time the order parameter falls below [threshold] (linear
+    interpolation between snapshots); [None] if it never does. *)

@@ -1,0 +1,47 @@
+let check phi_sst phi =
+  assert (phi_sst > 0.0 && phi_sst < 1.0);
+  assert (phi >= 0.0 && phi <= 1.0 +. 1e-9)
+
+let linear ~v0 ~phi_sst phi =
+  check phi_sst phi;
+  if phi < phi_sst then v0 *. (0.4 +. (0.2 *. phi /. phi_sst))
+  else v0 *. (0.6 +. (0.4 *. (phi -. phi_sst) /. (1.0 -. phi_sst)))
+
+let linear_deriv ~v0 ~phi_sst phi =
+  check phi_sst phi;
+  if phi < phi_sst then v0 *. 0.2 /. phi_sst else v0 *. 0.4 /. (1.0 -. phi_sst)
+
+(* Paper eq. 11. *)
+let smooth ~v0 ~phi_sst phi =
+  check phi_sst phi;
+  let s = phi_sst in
+  if phi < s then begin
+    let c1 = 0.4 /. (1.0 -. s) in
+    let c2 = (0.6 -. (1.8 *. s)) /. ((1.0 -. s) *. s *. s) in
+    let c3 = ((1.2 *. s) -. 0.4) /. ((1.0 -. s) *. s *. s *. s) in
+    v0 *. (0.4 +. (c1 *. phi) +. (c2 *. phi *. phi) +. (c3 *. phi *. phi *. phi))
+  end
+  else v0 *. (1.0 -. (0.4 /. (1.0 -. s)) +. (0.4 /. (1.0 -. s) *. phi))
+
+let smooth_deriv ~v0 ~phi_sst phi =
+  check phi_sst phi;
+  let s = phi_sst in
+  if phi < s then begin
+    let c1 = 0.4 /. (1.0 -. s) in
+    let c2 = (0.6 -. (1.8 *. s)) /. ((1.0 -. s) *. s *. s) in
+    let c3 = ((1.2 *. s) -. 0.4) /. ((1.0 -. s) *. s *. s *. s) in
+    v0 *. (c1 +. (2.0 *. c2 *. phi) +. (3.0 *. c3 *. phi *. phi))
+  end
+  else v0 *. 0.4 /. (1.0 -. s)
+
+let eval (p : Params.t) ~phi_sst phi =
+  match p.volume_model with
+  | Params.Linear -> linear ~v0:p.v0 ~phi_sst phi
+  | Params.Smooth -> smooth ~v0:p.v0 ~phi_sst phi
+
+let deriv (p : Params.t) ~phi_sst phi =
+  match p.volume_model with
+  | Params.Linear -> linear_deriv ~v0:p.v0 ~phi_sst phi
+  | Params.Smooth -> smooth_deriv ~v0:p.v0 ~phi_sst phi
+
+let beta ~phi_sst = 0.4 /. (1.0 -. phi_sst)

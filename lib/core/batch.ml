@@ -1,0 +1,51 @@
+open Numerics
+
+type t = {
+  kernel : Cellpop.Kernel.t;
+  basis : Spline.Basis.t;
+  params : Cellpop.Params.t;
+  use_positivity : bool;
+  use_conservation : bool;
+  use_rate_continuity : bool;
+}
+
+let prepare ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_continuity = true)
+    ~kernel ~basis ~params () =
+  { kernel; basis; params; use_positivity; use_conservation; use_rate_continuity }
+
+let problem_for t ?sigmas measurements =
+  Problem.create ~use_positivity:t.use_positivity ~use_conservation:t.use_conservation
+    ~use_rate_continuity:t.use_rate_continuity ?sigmas ~kernel:t.kernel ~basis:t.basis
+    ~measurements ~params:t.params ()
+
+let solve_gene t ?sigmas ?(lambda = `Gcv) ~measurements () =
+  let problem = problem_for t ?sigmas measurements in
+  let lambda =
+    match lambda with
+    | `Fixed l -> l
+    | `Gcv -> Lambda.select problem ~method_:`Gcv ()
+  in
+  Solver.solve ~lambda problem
+
+let solve_all t ?sigmas ?lambda ~measurements () =
+  let genes, _ = Mat.dims measurements in
+  Array.init genes (fun g ->
+      let sigma_row = Option.map (fun s -> Mat.row s g) sigmas in
+      solve_gene t ?sigmas:sigma_row ?lambda ~measurements:(Mat.row measurements g) ())
+
+let phases t = Array.copy t.kernel.Cellpop.Kernel.phases
+
+let peak_phase t (estimate : Solver.estimate) =
+  t.kernel.Cellpop.Kernel.phases.(Vec.argmax estimate.Solver.profile)
+
+let classify_by_peak t estimates ~boundaries =
+  let n_b = Array.length boundaries in
+  for i = 0 to n_b - 2 do
+    assert (boundaries.(i) < boundaries.(i + 1))
+  done;
+  Array.map
+    (fun estimate ->
+      let peak = peak_phase t estimate in
+      let rec find i = if i >= n_b || peak < boundaries.(i) then i else find (i + 1) in
+      find 0)
+    estimates

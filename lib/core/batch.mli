@@ -1,0 +1,46 @@
+(** Batch deconvolution of many genes sharing one population kernel — the
+    regime of a real microarray study (thousands of genes, one asynchrony
+    model). Kernel-, basis- and constraint-dependent quantities are
+    assembled once and reused across genes. *)
+
+open Numerics
+
+type t
+(** Prepared context: forward matrix, penalty, constraint rows. *)
+
+val prepare :
+  ?use_positivity:bool ->
+  ?use_conservation:bool ->
+  ?use_rate_continuity:bool ->
+  kernel:Cellpop.Kernel.t ->
+  basis:Spline.Basis.t ->
+  params:Cellpop.Params.t ->
+  unit ->
+  t
+
+val solve_gene :
+  t ->
+  ?sigmas:Vec.t ->
+  ?lambda:[ `Fixed of float | `Gcv ] ->
+  measurements:Vec.t ->
+  unit ->
+  Solver.estimate
+(** Deconvolve one gene ([`Gcv] is the default λ policy). *)
+
+val solve_all :
+  t ->
+  ?sigmas:Mat.t ->
+  ?lambda:[ `Fixed of float | `Gcv ] ->
+  measurements:Mat.t ->
+  unit ->
+  Solver.estimate array
+(** Rows of [measurements] (and [sigmas]) are genes. *)
+
+val phases : t -> Vec.t
+
+val peak_phase : t -> Solver.estimate -> float
+(** Phase of the maximum of the estimated profile. *)
+
+val classify_by_peak : t -> Solver.estimate array -> boundaries:Vec.t -> int array
+(** Assign each gene the index of the phase window its peak falls into;
+    [boundaries] are the (sorted) right edges of all but the last window. *)

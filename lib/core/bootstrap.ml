@@ -1,0 +1,49 @@
+open Numerics
+
+type bands = {
+  level : float;
+  lower : Vec.t;
+  median : Vec.t;
+  upper : Vec.t;
+  replicates : Mat.t;
+}
+
+let residual ?(replicates = 200) ?(level = 0.9) problem (estimate : Solver.estimate) ~rng =
+  assert (replicates >= 10);
+  assert (level > 0.0 && level < 1.0);
+  let g = problem.Problem.measurements in
+  let fitted = estimate.Solver.fitted in
+  let sigmas = problem.Problem.sigmas in
+  let n_m = Array.length g in
+  (* Standardized residuals: r_m / sigma_m are exchangeable under the
+     weighted model. *)
+  let standardized = Array.init n_m (fun m -> (g.(m) -. fitted.(m)) /. sigmas.(m)) in
+  let n_phi = Array.length estimate.Solver.profile in
+  let profiles = Mat.zeros replicates n_phi in
+  for b = 0 to replicates - 1 do
+    let resampled =
+      Array.init n_m (fun m -> fitted.(m) +. (sigmas.(m) *. Rng.pick rng standardized))
+    in
+    let problem_b = { problem with Problem.measurements = resampled } in
+    let estimate_b = Solver.solve ~lambda:estimate.Solver.lambda problem_b in
+    Mat.set_row profiles b estimate_b.Solver.profile
+  done;
+  let alpha = (1.0 -. level) /. 2.0 in
+  let percentile q = Array.init n_phi (fun j -> Stats.quantile (Mat.col profiles j) q) in
+  {
+    level;
+    lower = percentile alpha;
+    median = percentile 0.5;
+    upper = percentile (1.0 -. alpha);
+    replicates = profiles;
+  }
+
+let width bands = Vec.sub bands.upper bands.lower
+
+let coverage bands ~truth =
+  assert (Array.length truth = Array.length bands.lower);
+  let inside = ref 0 in
+  Array.iteri
+    (fun j v -> if v >= bands.lower.(j) -. 1e-12 && v <= bands.upper.(j) +. 1e-12 then incr inside)
+    truth;
+  float_of_int !inside /. float_of_int (Array.length truth)

@@ -1,0 +1,73 @@
+open Numerics
+
+type report = {
+  standardized_residuals : Vec.t;
+  chi2 : float;
+  dof : float;
+  p_value : float;
+  lag1_autocorrelation : float;
+  runs_z : float;
+}
+
+let lag1 residuals =
+  let n = Array.length residuals in
+  if n < 3 then 0.0
+  else begin
+    let head = Array.sub residuals 0 (n - 1) in
+    let tail = Array.sub residuals 1 (n - 1) in
+    Stats.correlation head tail
+  end
+
+(* Wald-Wolfowitz runs test on the residual signs. *)
+let runs_z_score residuals =
+  let n = Array.length residuals in
+  let positives = Array.fold_left (fun acc r -> if r >= 0.0 then acc + 1 else acc) 0 residuals in
+  let negatives = n - positives in
+  if positives = 0 || negatives = 0 then 0.0
+  else begin
+    let runs = ref 1 in
+    for i = 1 to n - 1 do
+      if residuals.(i) >= 0.0 <> (residuals.(i - 1) >= 0.0) then incr runs
+    done;
+    let np = float_of_int positives and nn = float_of_int negatives in
+    let total = np +. nn in
+    let expected = (2.0 *. np *. nn /. total) +. 1.0 in
+    let variance =
+      2.0 *. np *. nn *. ((2.0 *. np *. nn) -. total)
+      /. (total *. total *. (total -. 1.0))
+    in
+    if variance <= 0.0 then 0.0 else (float_of_int !runs -. expected) /. sqrt variance
+  end
+
+let analyze problem (estimate : Solver.estimate) =
+  let g = problem.Problem.measurements in
+  let sigmas = problem.Problem.sigmas in
+  let n = Array.length g in
+  let standardized =
+    Array.init n (fun m -> (g.(m) -. estimate.Solver.fitted.(m)) /. sigmas.(m))
+  in
+  let chi2 = Array.fold_left (fun acc z -> acc +. (z *. z)) 0.0 standardized in
+  (* Effective dof from the unconstrained smoother at the same lambda. *)
+  let a = Problem.design problem in
+  let w = Problem.weights problem in
+  let omega = Problem.penalty problem in
+  let fit =
+    Optimize.Ridge.solve ~a ~b:g ~weights:w ~penalty:omega ~lambda:estimate.Solver.lambda ()
+  in
+  let dof = Float.max 1.0 (float_of_int n -. fit.Optimize.Ridge.edf) in
+  let p_value = Special.chi2_sf ~dof:(int_of_float (Float.round dof)) chi2 in
+  {
+    standardized_residuals = standardized;
+    chi2;
+    dof;
+    p_value;
+    lag1_autocorrelation = lag1 standardized;
+    runs_z = runs_z_score standardized;
+  }
+
+let adequate ?(alpha = 0.05) report =
+  report.p_value > alpha && Float.abs report.runs_z <= 2.5
+
+let to_string r =
+  Printf.sprintf "chi2=%.2f (dof %.1f, p=%.3f), lag1=%.2f, runs z=%.2f" r.chi2 r.dof r.p_value
+    r.lag1_autocorrelation r.runs_z

@@ -1,0 +1,31 @@
+(** Model-adequacy diagnostics for a fitted deconvolution: does the
+    estimate actually explain the data at the stated noise level? (The
+    question a practitioner must answer before trusting f̂ — mis-specified
+    kernels and underestimated σ both show up here.) *)
+
+open Numerics
+
+type report = {
+  standardized_residuals : Vec.t;  (** (g − ĝ)/σ per measurement *)
+  chi2 : float;  (** Σ standardized residual² *)
+  dof : float;  (** measurements − effective dof of the smoother *)
+  p_value : float;
+      (** lack-of-fit p-value: small (< 0.05) means the model does NOT
+          explain the data at the stated noise level *)
+  lag1_autocorrelation : float;
+      (** of the standardized residuals; large |value| indicates structure
+          the fit missed (e.g. a mis-specified kernel) *)
+  runs_z : float;
+      (** Wald–Wolfowitz runs-test z-score on residual signs; |z| > 2
+          flags non-random residual patterns *)
+}
+
+val analyze : Problem.t -> Solver.estimate -> report
+(** Effective dof of the smoother is recomputed from the unconstrained
+    ridge fit at the estimate's λ (constraints change it only slightly). *)
+
+val adequate : ?alpha:float -> report -> bool
+(** True when the lack-of-fit p-value exceeds [alpha] (default 0.05) and
+    the runs test does not reject (|z| <= 2.5). *)
+
+val to_string : report -> string

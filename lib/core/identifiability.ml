@@ -1,0 +1,30 @@
+open Numerics
+
+type report = {
+  singular_values : Vec.t;
+  condition : float;
+}
+
+let analyze kernel basis =
+  let a = Forward.matrix_basis kernel basis in
+  let values = Linalg.singular_values a in
+  let n = Array.length values in
+  let smallest = values.(n - 1) in
+  let condition = if smallest <= 0.0 then Float.infinity else values.(0) /. smallest in
+  { singular_values = values; condition }
+
+let effective_rank report ~relative_noise =
+  assert (relative_noise >= 0.0);
+  let threshold = relative_noise *. report.singular_values.(0) in
+  Array.fold_left (fun acc v -> if v > threshold then acc + 1 else acc) 0
+    report.singular_values
+
+let measurement_sweep params ~rng ~n_cells ~basis ~schedules ~n_phi =
+  Array.map
+    (fun times ->
+      let kernel =
+        Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.split rng) ~n_cells ~times
+          ~n_phi
+      in
+      (Array.length times, analyze kernel basis))
+    schedules

@@ -1,0 +1,28 @@
+(** Quantifying the ill-posedness the paper regularizes against (§2.3:
+    "this inversion process is ill-posed"): the singular spectrum of the
+    forward operator tells how many independent features of f(φ) a given
+    measurement schedule can resolve at a given noise level. *)
+
+open Numerics
+
+type report = {
+  singular_values : Vec.t;  (** of the basis-space forward matrix, descending *)
+  condition : float;  (** σ₁/σ_last (∞ if the smallest vanishes) *)
+}
+
+val analyze : Cellpop.Kernel.t -> Spline.Basis.t -> report
+
+val effective_rank : report -> relative_noise:float -> int
+(** Number of singular values above [relative_noise × σ₁] — the modes whose
+    coefficients are estimable with signal-to-noise ≥ 1. *)
+
+val measurement_sweep :
+  Cellpop.Params.t ->
+  rng:Rng.t ->
+  n_cells:int ->
+  basis:Spline.Basis.t ->
+  schedules:Vec.t array ->
+  n_phi:int ->
+  (int * report) array
+(** Analyze several measurement schedules (arrays of times); returns
+    [(num_measurements, report)] per schedule. *)

@@ -1,0 +1,43 @@
+(** Data-driven selection of the smoothing parameter λ of paper eq. 5
+    ("λ ... may be selected via cross validation", citing Craven–Wahba). *)
+
+open Numerics
+
+type curve_point = { lambda : float; score : float }
+
+val gcv : Problem.t -> lambdas:Vec.t -> float * curve_point array
+(** Robust generalized cross-validation on the unconstrained smoothing
+    problem: score(λ) = N·RSS_w / (N − γ·edf)² with γ = 1.4 (Cummins,
+    Filloon & Nychka). Plain GCV (γ = 1) occasionally collapses to a
+    near-interpolating λ when N is as small as a typical expression time
+    course; the γ-correction removes that failure mode. Returns the winning
+    λ and the full curve. *)
+
+val kfold :
+  Problem.t -> rng:Rng.t -> k:int -> lambdas:Vec.t -> float * curve_point array
+(** k-fold cross-validation: each fold refits on the remaining measurements
+    (unconstrained, for speed and because constraints are
+    data-independent) and scores weighted squared error on the held-out
+    measurements. *)
+
+val lcurve : Problem.t -> lambdas:Vec.t -> float * curve_point array
+(** L-curve selection: pick the λ of maximum curvature of the parametric
+    curve (log misfit, log roughness) over the grid (Hansen's criterion).
+    The returned curve's [score] field carries the (negated) discrete
+    curvature so that lower-is-better matches the other selectors.
+
+    Provided for completeness and comparison: on this problem the L-curve
+    is typically gently curved with no sharp corner (the known
+    smooth-solution failure mode, Hanke 1996) and tends to undersmooth —
+    the `ext_lambda_selection` bench quantifies this. Robust GCV is the
+    recommended default. *)
+
+val select :
+  Problem.t ->
+  method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
+  ?rng:Rng.t ->
+  ?lambdas:Vec.t ->
+  unit ->
+  float
+(** Unified entry point; the default grid is 25 points, logarithmic in
+    [1e-7, 1e2]. *)

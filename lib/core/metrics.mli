@@ -1,0 +1,21 @@
+(** Recovery metrics comparing an estimated single-cell profile against the
+    known ground truth in the validation experiments. *)
+
+open Numerics
+
+type comparison = {
+  rmse : float;
+  nrmse : float;  (** RMSE / range of the truth *)
+  mae : float;
+  max_abs : float;
+  correlation : float;  (** Pearson correlation *)
+}
+
+val compare : truth:Vec.t -> estimate:Vec.t -> comparison
+
+val to_string : comparison -> string
+
+val improvement_factor : truth:Vec.t -> baseline:Vec.t -> estimate:Vec.t -> float
+(** RMSE(baseline, truth) / RMSE(estimate, truth): > 1 when the estimate is
+    closer to the truth than the baseline (e.g. deconvolved vs. raw
+    population signal). *)

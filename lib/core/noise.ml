@@ -1,0 +1,55 @@
+open Numerics
+
+type model =
+  | No_noise
+  | Gaussian_fraction of float
+  | Gaussian_absolute of float
+  | Multiplicative_lognormal of float
+
+let to_string = function
+  | No_noise -> "none"
+  | Gaussian_fraction f -> Printf.sprintf "gaussian %g%% of magnitude" (100.0 *. f)
+  | Gaussian_absolute s -> Printf.sprintf "gaussian sigma=%g" s
+  | Multiplicative_lognormal s -> Printf.sprintf "lognormal sigma=%g" s
+
+let sigma_floor g =
+  (* A small fraction of the signal scale keeps 1/σ² weights finite. *)
+  Float.max 1e-9 (0.005 *. Vec.norm_inf g)
+
+let apply model rng g =
+  let n = Array.length g in
+  let floor_ = sigma_floor g in
+  match model with
+  | No_noise -> (Vec.copy g, Vec.ones n)
+  | Gaussian_fraction fraction ->
+    assert (fraction >= 0.0);
+    (* The injected noise is exactly fraction x magnitude; only the REPORTED
+       sigmas are floored (they become 1/sigma^2 weights downstream). *)
+    let sigmas = Array.map (fun gi -> Float.max floor_ (fraction *. Float.abs gi)) g in
+    let noisy =
+      Array.map
+        (fun gi ->
+          let std = fraction *. Float.abs gi in
+          if std > 0.0 then gi +. Rng.normal rng ~mean:0.0 ~std else gi)
+        g
+    in
+    (noisy, sigmas)
+  | Gaussian_absolute sigma ->
+    assert (sigma >= 0.0);
+    let s = Float.max floor_ sigma in
+    let noisy = Array.map (fun gi -> gi +. Rng.normal rng ~mean:0.0 ~std:s) g in
+    (noisy, Array.make n s)
+  | Multiplicative_lognormal sigma ->
+    assert (sigma >= 0.0);
+    let noisy =
+      Array.map
+        (fun gi ->
+          let z = Rng.normal rng ~mean:0.0 ~std:1.0 in
+          gi *. exp ((sigma *. z) -. (sigma *. sigma /. 2.0)))
+        g
+    in
+    (* Delta-method standard deviation of the multiplicative model. *)
+    let sigmas =
+      Array.map (fun gi -> Float.max floor_ (Float.abs gi *. sqrt (exp (sigma *. sigma) -. 1.0))) g
+    in
+    (noisy, sigmas)

@@ -1,0 +1,22 @@
+(** Measurement-noise models for the validation experiments (paper §4.1
+    adds "several levels and types of noise" to the simulated population
+    data). *)
+
+open Numerics
+
+type model =
+  | No_noise
+  | Gaussian_fraction of float
+      (** zero-mean Gaussian with σ_m = fraction × |G(t_m)| — the paper's
+          Fig. 3 uses fraction 0.10 *)
+  | Gaussian_absolute of float  (** constant σ *)
+  | Multiplicative_lognormal of float
+      (** G·exp(σZ − σ²/2), mean-preserving multiplicative noise *)
+
+val to_string : model -> string
+
+val apply : model -> Rng.t -> Vec.t -> Vec.t * Vec.t
+(** [apply model rng g] returns [(noisy, sigmas)]; [sigmas] are the
+    per-measurement standard deviations to use as weights in the cost of
+    paper eq. 5 (all-ones for [No_noise]). Sigmas are floored at a small
+    positive value so weights stay finite where G ≈ 0. *)

@@ -1,0 +1,123 @@
+open Numerics
+
+type forward_mode = Same_kernel | Independent_kernel | Monte_carlo
+
+type selection = [ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ]
+
+type config = {
+  data_params : Cellpop.Params.t;
+  inversion_params : Cellpop.Params.t option;
+  n_cells_kernel : int;
+  n_cells_data : int;
+  n_phi : int;
+  kernel_smooth_window : int;
+  times : Vec.t;
+  num_knots : int;
+  noise : Noise.model;
+  selection : selection;
+  use_positivity : bool;
+  use_conservation : bool;
+  use_rate_continuity : bool;
+  forward_mode : forward_mode;
+  seed : int;
+}
+
+let default_config ~times =
+  {
+    data_params = Cellpop.Params.paper_2011;
+    inversion_params = None;
+    n_cells_kernel = 4000;
+    n_cells_data = 4000;
+    n_phi = 201;
+    kernel_smooth_window = 5;
+    times;
+    num_knots = 12;
+    noise = Noise.No_noise;
+    selection = `Gcv;
+    use_positivity = true;
+    use_conservation = true;
+    use_rate_continuity = true;
+    forward_mode = Monte_carlo;
+    seed = 1;
+  }
+
+type run = {
+  config : config;
+  kernel : Cellpop.Kernel.t;
+  phases : Vec.t;
+  truth : Vec.t;
+  clean : Vec.t;
+  noisy : Vec.t;
+  sigmas : Vec.t;
+  problem : Problem.t;
+  lambda : float;
+  estimate : Solver.estimate;
+  recovery : Metrics.comparison;
+}
+
+let run config ~profile =
+  let inversion_params =
+    match config.inversion_params with Some p -> p | None -> config.data_params
+  in
+  let root = Rng.create config.seed in
+  let rng_kernel = Rng.split root in
+  let rng_data = Rng.split root in
+  let rng_noise = Rng.split root in
+  let rng_cv = Rng.split root in
+  let kernel =
+    Cellpop.Kernel.estimate ~smooth_window:config.kernel_smooth_window inversion_params
+      ~rng:rng_kernel ~n_cells:config.n_cells_kernel ~times:config.times ~n_phi:config.n_phi
+  in
+  let clean =
+    match config.forward_mode with
+    | Same_kernel -> Forward.apply_fn kernel profile
+    | Independent_kernel ->
+      let data_kernel =
+        Cellpop.Kernel.estimate ~smooth_window:config.kernel_smooth_window config.data_params
+          ~rng:rng_data ~n_cells:config.n_cells_data ~times:config.times ~n_phi:config.n_phi
+      in
+      Forward.apply_fn data_kernel profile
+    | Monte_carlo ->
+      let snapshots =
+        Cellpop.Population.simulate config.data_params ~rng:rng_data ~n0:config.n_cells_data
+          ~times:config.times
+      in
+      Array.map
+        (Cellpop.Population.mean_signal config.data_params (fun ~phi -> profile phi))
+        snapshots
+  in
+  let noisy, sigmas = Noise.apply config.noise rng_noise clean in
+  let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:config.num_knots in
+  let problem =
+    Problem.create ~use_positivity:config.use_positivity
+      ~use_conservation:config.use_conservation
+      ~use_rate_continuity:config.use_rate_continuity ~sigmas ~kernel ~basis ~measurements:noisy
+      ~params:inversion_params ()
+  in
+  let lambda = Lambda.select problem ~method_:config.selection ~rng:rng_cv () in
+  let estimate = Solver.solve ~lambda problem in
+  let phases = kernel.Cellpop.Kernel.phases in
+  let truth = Array.map profile phases in
+  let recovery = Metrics.compare ~truth ~estimate:estimate.Solver.profile in
+  {
+    config;
+    kernel;
+    phases;
+    truth;
+    clean;
+    noisy;
+    sigmas;
+    problem;
+    lambda;
+    estimate;
+    recovery;
+  }
+
+let population_vs_phase r = (Array.copy r.config.times, Array.copy r.noisy)
+
+let deconvolved_vs_minutes r =
+  let t_mean =
+    (match r.config.inversion_params with Some p -> p | None -> r.config.data_params)
+      .Cellpop.Params.mean_cycle_minutes
+  in
+  (Array.map (fun phi -> phi *. t_mean) r.phases, Array.copy r.estimate.Solver.profile)

@@ -1,0 +1,43 @@
+open Numerics
+
+type t = {
+  kernel : Cellpop.Kernel.t;
+  basis : Spline.Basis.t;
+  measurements : Vec.t;
+  sigmas : Vec.t;
+  params : Cellpop.Params.t;
+  use_positivity : bool;
+  use_conservation : bool;
+  use_rate_continuity : bool;
+}
+
+let create ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_continuity = true)
+    ?sigmas ~kernel ~basis ~measurements ~params () =
+  let n_m = Array.length measurements in
+  assert (Array.length kernel.Cellpop.Kernel.times = n_m);
+  let sigmas =
+    match sigmas with
+    | Some s ->
+      assert (Array.length s = n_m);
+      Array.iter (fun x -> assert (x > 0.0)) s;
+      s
+    | None -> Vec.ones n_m
+  in
+  {
+    kernel;
+    basis;
+    measurements;
+    sigmas;
+    params;
+    use_positivity;
+    use_conservation;
+    use_rate_continuity;
+  }
+
+let num_measurements t = Array.length t.measurements
+
+let weights t = Array.map (fun s -> 1.0 /. (s *. s)) t.sigmas
+
+let design t = Forward.matrix_basis t.kernel t.basis
+
+let penalty t = Spline.Penalty.second_derivative t.basis

@@ -1,0 +1,40 @@
+(** A fully specified deconvolution problem: data, kernel, representation
+    and which physical constraints to enforce. *)
+
+open Numerics
+
+type t = {
+  kernel : Cellpop.Kernel.t;  (** Q(φ, t) on the measurement times *)
+  basis : Spline.Basis.t;  (** representation of f (paper eq. 4) *)
+  measurements : Vec.t;  (** G(t_m) *)
+  sigmas : Vec.t;  (** per-measurement standard deviations σ_m *)
+  params : Cellpop.Params.t;  (** population model behind the constraints *)
+  use_positivity : bool;
+  use_conservation : bool;
+  use_rate_continuity : bool;
+}
+
+val create :
+  ?use_positivity:bool ->
+  ?use_conservation:bool ->
+  ?use_rate_continuity:bool ->
+  ?sigmas:Vec.t ->
+  kernel:Cellpop.Kernel.t ->
+  basis:Spline.Basis.t ->
+  measurements:Vec.t ->
+  params:Cellpop.Params.t ->
+  unit ->
+  t
+(** All constraints default to on (the paper's full method); [sigmas]
+    default to all-ones (unweighted fit). Dimension compatibility is
+    checked. *)
+
+val num_measurements : t -> int
+val weights : t -> Vec.t
+(** 1/σ_m² — the weights of the data-fidelity term in eq. 5. *)
+
+val design : t -> Mat.t
+(** Forward matrix A·Ψ from coefficients to predicted measurements. *)
+
+val penalty : t -> Mat.t
+(** Roughness penalty Ω for the basis (cached per call site). *)

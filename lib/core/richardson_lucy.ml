@@ -1,0 +1,40 @@
+open Numerics
+
+type result = {
+  profile : Vec.t;
+  fitted : Vec.t;
+  iterations : int;
+  misfit_history : Vec.t;
+}
+
+let deconvolve ?(iterations = 100) ?initial ?(min_value = 1e-12) kernel ~measurements () =
+  assert (iterations >= 1);
+  let a = Forward.matrix_grid kernel in
+  let n_m, n_phi = Mat.dims a in
+  assert (Array.length measurements = n_m);
+  let g = Array.map (fun v -> Float.max 0.0 v) measurements in
+  let f =
+    match initial with
+    | Some f0 ->
+      assert (Array.length f0 = n_phi);
+      Array.map (fun v -> Float.max min_value v) f0
+    | None -> Array.make n_phi (Float.max min_value (Vec.mean g))
+  in
+  (* Column sums of A (the RL normalization Aᵀ1). *)
+  let column_sums = Mat.tmv a (Vec.ones n_m) in
+  let misfits = Array.make iterations 0.0 in
+  let f = ref f in
+  for k = 0 to iterations - 1 do
+    let predicted = Mat.mv a !f in
+    let ratios =
+      Array.init n_m (fun m -> g.(m) /. Float.max min_value predicted.(m))
+    in
+    let correction = Mat.tmv a ratios in
+    f :=
+      Array.init n_phi (fun j ->
+          let c = if column_sums.(j) > min_value then correction.(j) /. column_sums.(j) else 1.0 in
+          Float.max min_value (!f.(j) *. c));
+    let predicted = Mat.mv a !f in
+    misfits.(k) <- Stats.rmse g predicted
+  done;
+  { profile = !f; fitted = Mat.mv a !f; iterations; misfit_history = misfits }

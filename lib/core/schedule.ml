@@ -1,0 +1,49 @@
+open Numerics
+
+type candidate = {
+  kernel : Cellpop.Kernel.t;
+  design : Mat.t;
+}
+
+let candidates params ~rng ~n_cells ~times ~n_phi ~basis =
+  let kernel = Cellpop.Kernel.estimate ~smooth_window:5 params ~rng ~n_cells ~times ~n_phi in
+  { kernel; design = Forward.matrix_basis kernel basis }
+
+let log_det_information design ~rows ~ridge =
+  assert (ridge > 0.0);
+  let n = design.Mat.cols in
+  let info = Mat.scale ridge (Mat.identity n) in
+  List.iter
+    (fun r ->
+      let row = Mat.row design r in
+      for i = 0 to n - 1 do
+        if row.(i) <> 0.0 then
+          for j = 0 to n - 1 do
+            Mat.set info i j (Mat.get info i j +. (row.(i) *. row.(j)))
+          done
+      done)
+    rows;
+  Linalg.cholesky_log_det (Linalg.cholesky_factor info)
+
+let greedy ?(ridge = 1e-8) candidate ~budget =
+  let n_candidates = candidate.design.Mat.rows in
+  assert (budget >= 1 && budget <= n_candidates);
+  let chosen = ref [] in
+  for _ = 1 to budget do
+    let best = ref None in
+    for r = 0 to n_candidates - 1 do
+      if not (List.mem r !chosen) then begin
+        let score = log_det_information candidate.design ~rows:(r :: !chosen) ~ridge in
+        match !best with
+        | Some (_, s) when s >= score -> ()
+        | _ -> best := Some (r, score)
+      end
+    done;
+    match !best with
+    | Some (r, _) -> chosen := r :: !chosen
+    | None -> ()
+  done;
+  List.sort compare !chosen
+
+let times_of candidate rows =
+  Vec.of_list (List.map (fun r -> candidate.kernel.Cellpop.Kernel.times.(r)) rows)

@@ -1,0 +1,37 @@
+(** Measurement-schedule design: when should the population be sampled so
+    that deconvolution is best conditioned?
+
+    Because each kernel row Q(·, t) depends only on its own time, a kernel
+    estimated once on a fine candidate grid provides the forward row for
+    every candidate schedule; schedules are then just row subsets, and a
+    greedy D-optimal selection is cheap. *)
+
+open Numerics
+
+type candidate = {
+  kernel : Cellpop.Kernel.t;  (** kernel on the full candidate time grid *)
+  design : Mat.t;  (** forward matrix (rows = candidate times) in basis space *)
+}
+
+val candidates :
+  Cellpop.Params.t ->
+  rng:Rng.t ->
+  n_cells:int ->
+  times:Vec.t ->
+  n_phi:int ->
+  basis:Spline.Basis.t ->
+  candidate
+
+val log_det_information : Mat.t -> rows:int list -> ridge:float -> float
+(** log det(A_Sᵀ A_S + ridge·I) for the row subset S — the D-optimality
+    score of a schedule. *)
+
+val greedy :
+  ?ridge:float ->
+  candidate ->
+  budget:int ->
+  int list
+(** Greedily add the candidate row with the largest D-optimality gain until
+    [budget] rows are chosen. Returns sorted candidate indices. *)
+
+val times_of : candidate -> int list -> Vec.t

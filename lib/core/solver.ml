@@ -1,0 +1,99 @@
+open Numerics
+
+type estimate = {
+  alpha : Vec.t;
+  profile : Vec.t;
+  fitted : Vec.t;
+  lambda : float;
+  cost : float;
+  data_misfit : float;
+  roughness : float;
+  active_positivity : int;
+  qp_iterations : int;
+}
+
+(* Quadratic form pieces of eq. 5:
+   C(α) = (g − Aα)ᵀ W (g − Aα) + λ αᵀ Ω α
+        = αᵀ(AᵀWA + λΩ)α − 2(AᵀWg)ᵀα + const,
+   i.e. QP with H = 2(AᵀWA + λΩ), linear term −2AᵀWg. *)
+let quadratic_pieces problem lambda =
+  let a = Problem.design problem in
+  let w = Problem.weights problem in
+  let omega = Problem.penalty problem in
+  let normal = Optimize.Ridge.normal_matrix ~a ~weights:w ~penalty:omega ~lambda in
+  let h = Mat.scale 2.0 normal in
+  let wg = Vec.mul w problem.Problem.measurements in
+  let g_lin = Vec.scale (-2.0) (Mat.tmv a wg) in
+  (a, w, omega, h, g_lin)
+
+let equality_rows problem =
+  let rows = ref [] in
+  if problem.Problem.use_rate_continuity then
+    rows := Constraints.rate_continuity_row problem.Problem.params problem.Problem.basis :: !rows;
+  if problem.Problem.use_conservation then
+    rows := Constraints.conservation_row problem.Problem.params problem.Problem.basis :: !rows;
+  match !rows with
+  | [] -> None
+  | rows -> Some (Mat.of_rows (Array.of_list rows))
+
+let finish problem lambda a w omega (alpha : Vec.t) iterations active =
+  let fitted = Mat.mv a alpha in
+  let residuals = Vec.sub problem.Problem.measurements fitted in
+  let data_misfit =
+    let acc = ref 0.0 in
+    Array.iteri (fun i r -> acc := !acc +. (w.(i) *. r *. r)) residuals;
+    !acc
+  in
+  let roughness = Vec.dot alpha (Mat.mv omega alpha) in
+  let profile =
+    Spline.Basis.combine_many problem.Problem.basis alpha
+      problem.Problem.kernel.Cellpop.Kernel.phases
+  in
+  {
+    alpha;
+    profile;
+    fitted;
+    lambda;
+    cost = data_misfit +. (lambda *. roughness);
+    data_misfit;
+    roughness;
+    active_positivity = active;
+    qp_iterations = iterations;
+  }
+
+let solve ?(lambda = 1e-4) problem =
+  let a, w, omega, h, g_lin = quadratic_pieces problem lambda in
+  let c_eq = equality_rows problem in
+  let d_eq = Option.map (fun (c : Mat.t) -> Vec.zeros c.Mat.rows) c_eq in
+  let a_ineq, b_ineq =
+    if problem.Problem.use_positivity then begin
+      let grid = problem.Problem.kernel.Cellpop.Kernel.phases in
+      (* Include the interval endpoints: the conservation constraints act
+         on f(0) and f(1), which lie outside the bin-center grid. *)
+      let grid = Vec.concat [ [| 0.0 |]; grid; [| 1.0 |] ] in
+      let rows = Constraints.positivity_rows problem.Problem.basis ~grid in
+      (Some rows, Some (Vec.zeros rows.Mat.rows))
+    end
+    else (None, None)
+  in
+  let qp = { Optimize.Qp.h; g = g_lin; c_eq; d_eq; a_ineq; b_ineq } in
+  let solution = Optimize.Qp.solve qp in
+  finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
+    (List.length solution.Optimize.Qp.active)
+
+let solve_unconstrained ?(lambda = 1e-4) problem =
+  let a, w, omega, h, g_lin = quadratic_pieces problem lambda in
+  let alpha = Optimize.Qp.unconstrained h g_lin in
+  finish problem lambda a w omega alpha 0 0
+
+let naive problem =
+  (* λ chosen only to make the normal matrix invertible; relative to the
+     data scale it is ~1e-12, so the fit is effectively unregularized. *)
+  let scale = Float.max 1e-300 (Vec.norm_inf problem.Problem.measurements) in
+  let lambda = 1e-12 *. scale *. scale in
+  let a, w, omega, h, g_lin = quadratic_pieces problem lambda in
+  let alpha = Optimize.Qp.unconstrained h g_lin in
+  { (finish problem lambda a w omega alpha 0 0) with lambda = 0.0 }
+
+let profile_on problem estimate grid =
+  Spline.Basis.combine_many problem.Problem.basis estimate.alpha grid

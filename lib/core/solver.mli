@@ -1,0 +1,33 @@
+(** The constrained regularized estimator of paper §2.3: minimize the cost
+    C(λ) of eq. 5 subject to positivity, conservation and rate-continuity,
+    as a convex QP over the spline coefficients. *)
+
+open Numerics
+
+type estimate = {
+  alpha : Vec.t;  (** spline coefficients of f̂ *)
+  profile : Vec.t;  (** f̂ sampled on the kernel's phase grid *)
+  fitted : Vec.t;  (** Ĝ(t_m) = A Ψ α *)
+  lambda : float;
+  cost : float;  (** the achieved value of eq. 5 *)
+  data_misfit : float;  (** Σ (G−Ĝ)²/σ² *)
+  roughness : float;  (** ∫ f̂''² *)
+  active_positivity : int;  (** number of active positivity constraints *)
+  qp_iterations : int;
+}
+
+val solve : ?lambda:float -> Problem.t -> estimate
+(** Default λ = 1e-4 (use {!Lambda} for data-driven selection). *)
+
+val solve_unconstrained : ?lambda:float -> Problem.t -> estimate
+(** The same objective ignoring all constraints — the pure smoothing-spline
+    baseline (used for λ selection and ablations). *)
+
+val naive : Problem.t -> estimate
+(** The no-regularization baseline: λ = 0 with a vanishing ridge for
+    numerical solvability and no constraints. Demonstrates the
+    ill-posedness of the inversion (paper §2.3: "this inversion process is
+    ill-posed"). *)
+
+val profile_on : Problem.t -> estimate -> Vec.t -> Vec.t
+(** Evaluate the estimated f̂ on an arbitrary phase grid. *)

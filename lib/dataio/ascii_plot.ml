@@ -1,0 +1,54 @@
+open Numerics
+
+type series = { label : string; glyph : char; xs : Vec.t; ys : Vec.t }
+
+let render ?(width = 72) ?(height = 20) ?title series =
+  assert (width >= 16 && height >= 4);
+  let all_x = Vec.concat (List.map (fun s -> s.xs) series) in
+  let all_y = Vec.concat (List.map (fun s -> s.ys) series) in
+  if Array.length all_x = 0 then "(empty plot)\n"
+  else begin
+    let x_min = Vec.min all_x and x_max = Vec.max all_x in
+    let y_min = Float.min 0.0 (Vec.min all_y) and y_max = Vec.max all_y in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let canvas = Array.make_matrix height width ' ' in
+    (* Axes: bottom row and left column. *)
+    for j = 0 to width - 1 do
+      canvas.(height - 1).(j) <- '-'
+    done;
+    for i = 0 to height - 1 do
+      canvas.(i).(0) <- '|'
+    done;
+    canvas.(height - 1).(0) <- '+';
+    List.iter
+      (fun s ->
+        assert (Array.length s.xs = Array.length s.ys);
+        Array.iteri
+          (fun k x ->
+            let y = s.ys.(k) in
+            let col = 1 + int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 2)) in
+            let row =
+              height - 2 - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 2))
+            in
+            let col = Stdlib.max 1 (Stdlib.min (width - 1) col) in
+            let row = Stdlib.max 0 (Stdlib.min (height - 2) row) in
+            canvas.(row).(col) <- s.glyph)
+          s.xs)
+      series;
+    let buf = Buffer.create (width * height * 2) in
+    (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+    Buffer.add_string buf (Printf.sprintf "y: %.3g .. %.3g\n" y_min y_max);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf (String.init width (Array.get row));
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf (Printf.sprintf "x: %.3g .. %.3g\n" x_min x_max);
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.glyph s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?title series = print_string (render ?width ?height ?title series)

@@ -1,0 +1,14 @@
+(** Terminal line plots so the runnable examples can show the figures
+    without a graphics stack. *)
+
+open Numerics
+
+type series = { label : string; glyph : char; xs : Vec.t; ys : Vec.t }
+
+val render :
+  ?width:int -> ?height:int -> ?title:string -> series list -> string
+(** A fixed-size character canvas with axis ranges fitted to the data,
+    y-axis labels on the left, and a legend line per series. Later series
+    draw over earlier ones where they collide. *)
+
+val print : ?width:int -> ?height:int -> ?title:string -> series list -> unit

@@ -1,0 +1,65 @@
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if header <> [] then output_string oc (String.concat "," header ^ "\n");
+      List.iter
+        (fun row ->
+          let fields = Array.to_list (Array.map (Printf.sprintf "%.10g") row) in
+          output_string oc (String.concat "," fields ^ "\n"))
+        rows)
+
+let write_columns ~path ~header ~columns =
+  match columns with
+  | [] -> write ~path ~header ~rows:[]
+  | first :: rest ->
+    let n = Array.length first in
+    List.iter (fun c -> assert (Array.length c = n)) rest;
+    let rows =
+      List.init n (fun i -> Array.of_list (List.map (fun c -> c.(i)) columns))
+    in
+    write ~path ~header ~rows
+
+let parse_line line = String.split_on_char ',' (String.trim line)
+
+let is_number s = match float_of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let read ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then lines := line :: !lines
+         done
+       with End_of_file -> ());
+      match List.rev !lines with
+      | [] -> ([], [])
+      | first :: rest ->
+        let first_fields = parse_line first in
+        let has_header = List.exists (fun f -> not (is_number f)) first_fields in
+        let header = if has_header then first_fields else [] in
+        let data_lines = if has_header then rest else first :: rest in
+        let rows =
+          List.map
+            (fun line ->
+              Array.of_list (List.map (fun f -> float_of_string (String.trim f)) (parse_line line)))
+            data_lines
+        in
+        (header, rows))
+
+let read_columns ~path =
+  let header, rows = read ~path in
+  match rows with
+  | [] -> (header, [])
+  | first :: _ ->
+    let n_cols = Array.length first in
+    List.iter (fun r -> assert (Array.length r = n_cols)) rows;
+    let columns =
+      List.init n_cols (fun j -> Array.of_list (List.map (fun r -> r.(j)) rows))
+    in
+    (header, columns)

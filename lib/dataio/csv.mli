@@ -1,0 +1,16 @@
+(** Minimal CSV reading/writing (no quoting — numeric tables only). *)
+
+open Numerics
+
+val write : path:string -> header:string list -> rows:float array list -> unit
+(** Each row is one line; header names the columns. *)
+
+val write_columns : path:string -> header:string list -> columns:Vec.t list -> unit
+(** Transposed convenience: all columns must have equal length. *)
+
+val read : path:string -> string list * float array list
+(** Returns [(header, rows)]. The first line is taken as a header when any
+    of its fields fails to parse as a number; otherwise the header is
+    empty. *)
+
+val read_columns : path:string -> string list * Vec.t list

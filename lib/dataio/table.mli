@@ -1,0 +1,16 @@
+(** Aligned text tables for the benchmark harness — each experiment prints
+    the series a paper figure plots as rows of a table. *)
+
+open Numerics
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val add_row : t -> float array -> unit
+val add_rows : t -> Vec.t list -> unit
+(** Columns, transposed into rows (equal lengths required). *)
+
+val to_string : ?precision:int -> t -> string
+val print : ?precision:int -> t -> unit
+(** Render with a title line, a header line and aligned numeric columns. *)

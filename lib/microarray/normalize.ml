@@ -1,0 +1,54 @@
+open Numerics
+
+let background_correct ?(percentile = 0.05) m =
+  let out = Mat.copy m in
+  for j = 0 to m.Mat.cols - 1 do
+    let column = Mat.col m j in
+    let bg = Stats.quantile column percentile in
+    for i = 0 to m.Mat.rows - 1 do
+      Mat.set out i j (Float.max 0.0 (Mat.get m i j -. bg))
+    done
+  done;
+  out
+
+let median_scale m =
+  let medians = Array.init m.Mat.cols (fun j -> Stats.median (Mat.col m j)) in
+  let positive = Array.of_list (List.filter (fun x -> x > 0.0) (Array.to_list medians)) in
+  if Array.length positive = 0 then Mat.copy m
+  else begin
+    let target = Stats.median positive in
+    let out = Mat.copy m in
+    for j = 0 to m.Mat.cols - 1 do
+      if medians.(j) > 0.0 then begin
+        let scale = target /. medians.(j) in
+        for i = 0 to m.Mat.rows - 1 do
+          Mat.set out i j (Mat.get m i j *. scale)
+        done
+      end
+    done;
+    out
+  end
+
+let quantile m =
+  let rows = m.Mat.rows and cols = m.Mat.cols in
+  (* Rank each column, average the sorted profiles, then write the mean
+     profile back through each column's ranks. *)
+  let order = Array.init cols (fun j ->
+      let idx = Array.init rows (fun i -> i) in
+      let column = Mat.col m j in
+      Array.sort (fun a b -> compare column.(a) column.(b)) idx;
+      idx)
+  in
+  let mean_sorted = Array.make rows 0.0 in
+  for j = 0 to cols - 1 do
+    let column = Mat.col m j in
+    Array.iteri (fun rank i -> mean_sorted.(rank) <- mean_sorted.(rank) +. column.(i)) order.(j)
+  done;
+  let mean_sorted = Array.map (fun x -> x /. float_of_int cols) mean_sorted in
+  let out = Mat.zeros rows cols in
+  for j = 0 to cols - 1 do
+    Array.iteri (fun rank i -> Mat.set out i j mean_sorted.(rank)) order.(j)
+  done;
+  out
+
+let log2 ?(offset = 1.0) m = Mat.map (fun x -> Float.log2 (x +. offset)) m

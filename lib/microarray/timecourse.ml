@@ -1,0 +1,94 @@
+open Numerics
+
+type raw = {
+  gene_names : string array;
+  times : Vec.t;
+  probes : Probe.t array;
+  replicates : Mat.t array;
+  control_spots : int;
+}
+
+let simulate ?(replicates = 3) ?(array_scale_cv = 0.15) ?(control_spots = 8) rng ~gene_names
+    ~times ~true_signals =
+  let genes, n_times = Mat.dims true_signals in
+  assert (Array.length gene_names = genes);
+  assert (Array.length times = n_times);
+  assert (replicates >= 1);
+  assert (control_spots >= 0);
+  let total_rows = genes + control_spots in
+  let probes = Array.init total_rows (fun _ -> Probe.draw rng) in
+  let replicate_matrices =
+    Array.init replicates (fun _ ->
+        let chip_scales =
+          Array.init n_times (fun _ -> Rng.lognormal_factor rng ~cv:array_scale_cv)
+        in
+        Mat.init total_rows n_times (fun g m ->
+            (* Control spots see zero target concentration. *)
+            let concentration =
+              if g < genes then Float.max 0.0 (Mat.get true_signals g m) else 0.0
+            in
+            chip_scales.(m) *. Probe.measure probes.(g) rng ~concentration))
+  in
+  {
+    gene_names;
+    times = Array.copy times;
+    probes;
+    replicates = replicate_matrices;
+    control_spots;
+  }
+
+type processed = {
+  estimates : Mat.t;
+  sigmas : Mat.t;
+}
+
+let background_of_chip raw chip j =
+  let total_rows, _ = Mat.dims chip in
+  let genes = total_rows - raw.control_spots in
+  if raw.control_spots > 0 then begin
+    let controls = Array.init raw.control_spots (fun k -> Mat.get chip (genes + k) j) in
+    Stats.median controls
+  end
+  else Stats.quantile (Mat.col chip j) 0.05
+
+let process raw =
+  let total_rows, n_times = Mat.dims raw.replicates.(0) in
+  let genes = total_rows - raw.control_spots in
+  let normalized =
+    Array.map
+      (fun chip ->
+        (* Background from the blank controls, per chip column. *)
+        let corrected =
+          Mat.init total_rows n_times (fun g j ->
+              Float.max 0.0 (Mat.get chip g j -. background_of_chip raw chip j))
+        in
+        (* Median scaling over the GENE rows only (controls are ~zero and
+           would distort the median on small panels). *)
+        let gene_block = Mat.init genes n_times (fun g j -> Mat.get corrected g j) in
+        Normalize.median_scale gene_block)
+      raw.replicates
+  in
+  let n_reps = Array.length normalized in
+  let estimates = Mat.zeros genes n_times in
+  let sigmas = Mat.zeros genes n_times in
+  for g = 0 to genes - 1 do
+    for m = 0 to n_times - 1 do
+      let values = Array.init n_reps (fun r -> Mat.get normalized.(r) g m) in
+      let mean = Stats.mean values in
+      Mat.set estimates g m mean;
+      let se = if n_reps > 1 then Stats.std values /. sqrt (float_of_int n_reps) else 0.0 in
+      Mat.set sigmas g m se
+    done
+  done;
+  (* Floor sigmas at a small fraction of each gene's dynamic range so the
+     deconvolution weights stay finite. *)
+  for g = 0 to genes - 1 do
+    let row = Mat.row estimates g in
+    let floor_ = Float.max 1e-9 (0.02 *. Vec.norm_inf row) in
+    for m = 0 to n_times - 1 do
+      Mat.set sigmas g m (Float.max floor_ (Mat.get sigmas g m))
+    done
+  done;
+  { estimates; sigmas }
+
+let gene_measurements p ~gene = (Mat.row p.estimates gene, Mat.row p.sigmas gene)

@@ -1,0 +1,92 @@
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Iterative radix-2 Cooley-Tukey with bit-reversal permutation. *)
+let transform sign input =
+  let n = Array.length input in
+  assert (is_pow2 n);
+  let a = Array.copy input in
+  (* Bit reversal. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let angle = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wn = Complex.polar 1.0 angle in
+    let block = ref 0 in
+    while !block < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!block + k) in
+        let v = Complex.mul !w a.(!block + k + half) in
+        a.(!block + k) <- Complex.add u v;
+        a.(!block + k + half) <- Complex.sub u v;
+        w := Complex.mul !w wn
+      done;
+      block := !block + !len
+    done;
+    len := !len * 2
+  done;
+  a
+
+let fft input = transform (-1.0) input
+
+let ifft input =
+  let n = Array.length input in
+  let out = transform 1.0 input in
+  Array.map (fun c -> Complex.div c { Complex.re = float_of_int n; im = 0.0 }) out
+
+let rfft signal =
+  let n = next_pow2 (Array.length signal) in
+  let padded =
+    Array.init n (fun i ->
+        if i < Array.length signal then { Complex.re = signal.(i); im = 0.0 } else Complex.zero)
+  in
+  fft padded
+
+let power_spectrum signal =
+  let mean = Vec.mean signal in
+  let centered = Array.map (fun x -> x -. mean) signal in
+  let spectrum = rfft centered in
+  let n = Array.length spectrum in
+  Array.init ((n / 2) + 1) (fun k -> Complex.norm2 spectrum.(k))
+
+let dominant_period ?(dt = 1.0) signal =
+  assert (Array.length signal >= 4);
+  let ps = power_spectrum signal in
+  (* Skip the DC bin. *)
+  let best = ref 1 in
+  for k = 2 to Array.length ps - 1 do
+    if ps.(k) > ps.(!best) then best := k
+  done;
+  let n_padded = next_pow2 (Array.length signal) in
+  float_of_int n_padded *. dt /. float_of_int !best
+
+let convolve a b =
+  let out_len = Array.length a + Array.length b - 1 in
+  let n = next_pow2 out_len in
+  let pad v =
+    Array.init n (fun i ->
+        if i < Array.length v then { Complex.re = v.(i); im = 0.0 } else Complex.zero)
+  in
+  let fa = fft (pad a) and fb = fft (pad b) in
+  let product = Array.init n (fun i -> Complex.mul fa.(i) fb.(i)) in
+  let inv = ifft product in
+  Array.init out_len (fun i -> inv.(i).Complex.re)

@@ -1,0 +1,26 @@
+(** Radix-2 fast Fourier transform and derived spectral tools (used for
+    period detection in oscillatory expression profiles). *)
+
+val fft : Complex.t array -> Complex.t array
+(** In-order forward DFT. Length must be a power of two. *)
+
+val ifft : Complex.t array -> Complex.t array
+(** Inverse DFT, normalized by 1/n. *)
+
+val rfft : Vec.t -> Complex.t array
+(** Forward DFT of a real signal (zero-padded to the next power of two). *)
+
+val power_spectrum : Vec.t -> Vec.t
+(** One-sided periodogram |X_k|² of a mean-removed, zero-padded real
+    signal; entry k corresponds to frequency k/(n·dt) for the padded
+    length n. *)
+
+val dominant_period : ?dt:float -> Vec.t -> float
+(** Period (in units of [dt], default 1.0 per sample) of the strongest
+    nonzero-frequency component of the signal. *)
+
+val convolve : Vec.t -> Vec.t -> Vec.t
+(** Linear convolution of two real signals via FFT; output length
+    [length a + length b - 1]. *)
+
+val next_pow2 : int -> int

@@ -1,0 +1,23 @@
+(** One-dimensional interpolation on sorted grids. *)
+
+val bracket : Vec.t -> float -> int
+(** [bracket x v] returns [i] with [x.(i) <= v < x.(i+1)] (clamped to the
+    end intervals for out-of-range queries). [x] must be strictly
+    increasing with at least two entries. *)
+
+val linear : x:Vec.t -> y:Vec.t -> float -> float
+(** Piecewise-linear interpolation; linear extrapolation outside the grid. *)
+
+val linear_clamped : x:Vec.t -> y:Vec.t -> float -> float
+(** Like {!linear} but holds end values outside the grid. *)
+
+val linear_many : x:Vec.t -> y:Vec.t -> Vec.t -> Vec.t
+
+type pchip
+
+val pchip_build : x:Vec.t -> y:Vec.t -> pchip
+(** Monotone piecewise-cubic interpolant (Fritsch–Carlson): never
+    overshoots the data. *)
+
+val pchip_eval : pchip -> float -> float
+val pchip_eval_many : pchip -> Vec.t -> Vec.t

@@ -1,0 +1,267 @@
+exception Singular of string
+
+type lu = { lu : Mat.t; pivots : int array; sign : float }
+
+let lu_factor a =
+  let n, m = Mat.dims a in
+  assert (n = m);
+  let lu = Mat.copy a in
+  let pivots = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k at/below the diagonal. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot_row k) then pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      let tmp = Mat.row lu k in
+      Mat.set_row lu k (Mat.row lu !pivot_row);
+      Mat.set_row lu !pivot_row tmp;
+      let tp = pivots.(k) in
+      pivots.(k) <- pivots.(!pivot_row);
+      pivots.(!pivot_row) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if pivot = 0.0 then raise (Singular "lu_factor: zero pivot");
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; pivots; sign = !sign }
+
+let lu_solve { lu; pivots; _ } b =
+  let n = lu.Mat.rows in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(pivots.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get lu i i
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let solve_many a b =
+  let f = lu_factor a in
+  let n, m = Mat.dims b in
+  assert (n = a.Mat.rows);
+  let x = Mat.zeros n m in
+  for j = 0 to m - 1 do
+    Mat.set_col x j (lu_solve f (Mat.col b j))
+  done;
+  x
+
+let inverse a = solve_many a (Mat.identity a.Mat.rows)
+
+let det a =
+  match lu_factor a with
+  | { lu; sign; _ } ->
+    let acc = ref sign in
+    for i = 0 to lu.Mat.rows - 1 do
+      acc := !acc *. Mat.get lu i i
+    done;
+    !acc
+  | exception Singular _ -> 0.0
+
+type cholesky = Mat.t
+
+let cholesky_factor a =
+  let n, m = Mat.dims a in
+  assert (n = m);
+  let l = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then raise (Singular "cholesky_factor: non-positive pivot");
+        Mat.set l i i (sqrt !acc)
+      end
+      else Mat.set l i j (!acc /. Mat.get l j j)
+    done
+  done;
+  l
+
+let cholesky_solve l b =
+  let n = l.Mat.rows in
+  assert (Array.length b = n);
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get l i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get l j i *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  y
+
+let cholesky_log_det (l : cholesky) =
+  let acc = ref 0.0 in
+  for i = 0 to l.Mat.rows - 1 do
+    acc := !acc +. (2.0 *. log (Mat.get l i i))
+  done;
+  !acc
+
+let solve_spd a b =
+  match cholesky_factor a with
+  | l -> cholesky_solve l b
+  | exception Singular _ -> solve a b
+
+let qr_lstsq a b =
+  let m, n = Mat.dims a in
+  assert (m >= n);
+  assert (Array.length b = m);
+  let r = Mat.copy a in
+  let qtb = Array.copy b in
+  (* Householder QR applied in place; Q is applied to b on the fly. *)
+  for k = 0 to n - 1 do
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      let v = Mat.get r i k in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm = 0.0 then raise (Singular "qr_lstsq: rank-deficient column");
+    let alpha = if Mat.get r k k > 0.0 then -.norm else norm in
+    (* Householder vector v stored implicitly: v_k = r_kk - alpha, v_i = r_ik. *)
+    let vk = Mat.get r k k -. alpha in
+    let beta = -1.0 /. (alpha *. vk) in
+    (* Apply H = I - beta v vᵀ to remaining columns of r. *)
+    for j = k + 1 to n - 1 do
+      let s = ref (vk *. Mat.get r k j) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (Mat.get r i k *. Mat.get r i j)
+      done;
+      let s = beta *. !s in
+      Mat.set r k j (Mat.get r k j -. (s *. vk));
+      for i = k + 1 to m - 1 do
+        Mat.set r i j (Mat.get r i j -. (s *. Mat.get r i k))
+      done
+    done;
+    (* Apply H to b. *)
+    let s = ref (vk *. qtb.(k)) in
+    for i = k + 1 to m - 1 do
+      s := !s +. (Mat.get r i k *. qtb.(i))
+    done;
+    let s = beta *. !s in
+    qtb.(k) <- qtb.(k) -. (s *. vk);
+    for i = k + 1 to m - 1 do
+      qtb.(i) <- qtb.(i) -. (s *. Mat.get r i k)
+    done;
+    Mat.set r k k alpha
+  done;
+  (* Back substitution on the n x n upper triangle. *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref qtb.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get r i j *. x.(j))
+    done;
+    let rii = Mat.get r i i in
+    if rii = 0.0 then raise (Singular "qr_lstsq: zero diagonal in R");
+    x.(i) <- !acc /. rii
+  done;
+  x
+
+let solve_sym_indefinite a b = solve a b
+
+let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 64) a =
+  let n, m = Mat.dims a in
+  assert (n = m);
+  let d = Mat.copy a in
+  let v = Mat.identity n in
+  let off_diagonal_norm () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (2.0 *. Mat.get d i j *. Mat.get d i j)
+      done
+    done;
+    sqrt !acc
+  in
+  let scale = Float.max 1e-300 (Mat.frobenius a) in
+  let sweep = ref 0 in
+  while off_diagonal_norm () > tol *. scale && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get d p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.get d p p and aqq = Mat.get d q q in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let s = if theta >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* Rotate rows/columns p and q. *)
+          for k = 0 to n - 1 do
+            let dkp = Mat.get d k p and dkq = Mat.get d k q in
+            Mat.set d k p ((c *. dkp) -. (s *. dkq));
+            Mat.set d k q ((s *. dkp) +. (c *. dkq))
+          done;
+          for k = 0 to n - 1 do
+            let dpk = Mat.get d p k and dqk = Mat.get d q k in
+            Mat.set d p k ((c *. dpk) -. (s *. dqk));
+            Mat.set d q k ((s *. dpk) +. (c *. dqk))
+          done;
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let eigenvalues = Array.init n (fun i -> Mat.get d i i) in
+  (* Sort descending, permuting eigenvector columns accordingly. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare eigenvalues.(j) eigenvalues.(i)) order;
+  let sorted_values = Array.map (fun i -> eigenvalues.(i)) order in
+  let sorted_vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  (sorted_values, sorted_vectors)
+
+let singular_values a =
+  let m, n = Mat.dims a in
+  let gram = if m >= n then Mat.gram a else Mat.gram (Mat.transpose a) in
+  let values, _ = jacobi_eigen gram in
+  Array.map (fun v -> sqrt (Float.max 0.0 v)) values
+
+let condition_spd a =
+  let values, _ = jacobi_eigen a in
+  let n = Array.length values in
+  if n = 0 then 1.0
+  else begin
+    let vmax = values.(0) and vmin = values.(n - 1) in
+    if vmin <= 0.0 then Float.infinity else vmax /. vmin
+  end

@@ -1,0 +1,58 @@
+(** Direct dense linear algebra: factorizations, solves, least squares and
+    symmetric eigendecomposition. All routines raise [Singular] when the
+    input is numerically rank-deficient beyond recovery. *)
+
+exception Singular of string
+
+type lu
+(** LU factorization with partial pivoting. *)
+
+val lu_factor : Mat.t -> lu
+(** Factor a square matrix. Raises {!Singular} on exact singularity. *)
+
+val lu_solve : lu -> Vec.t -> Vec.t
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves the square system [a x = b] by LU. *)
+
+val solve_many : Mat.t -> Mat.t -> Mat.t
+(** [solve_many a b] solves [a X = b] column by column. *)
+
+val inverse : Mat.t -> Mat.t
+val det : Mat.t -> float
+
+type cholesky
+
+val cholesky_factor : Mat.t -> cholesky
+(** Factor a symmetric positive-definite matrix (lower triangular).
+    Raises {!Singular} if a pivot is not strictly positive. *)
+
+val cholesky_solve : cholesky -> Vec.t -> Vec.t
+
+val cholesky_log_det : cholesky -> float
+(** log-determinant of the factored SPD matrix (2·Σ log l_ii). *)
+
+val solve_spd : Mat.t -> Vec.t -> Vec.t
+(** Solve with a symmetric positive-definite matrix via Cholesky; falls back
+    to LU if the Cholesky pivots fail (semi-definite boundary cases). *)
+
+val qr_lstsq : Mat.t -> Vec.t -> Vec.t
+(** Least-squares solution of an overdetermined system [a x ~ b]
+    ([rows >= cols], full column rank) via Householder QR. *)
+
+val solve_sym_indefinite : Mat.t -> Vec.t -> Vec.t
+(** Solve a symmetric (possibly indefinite, e.g. KKT) system by pivoted LU. *)
+
+val jacobi_eigen : ?tol:float -> ?max_sweeps:int -> Mat.t -> Vec.t * Mat.t
+(** [jacobi_eigen a] for symmetric [a] returns [(eigenvalues, eigenvectors)]
+    with eigenvectors in columns, sorted by descending eigenvalue. *)
+
+val condition_spd : Mat.t -> float
+(** Spectral condition number estimate of a symmetric PSD matrix via
+    {!jacobi_eigen}. *)
+
+val singular_values : Mat.t -> Vec.t
+(** Singular values of an arbitrary matrix, descending — computed as the
+    square roots of the eigenvalues of the (smaller-side) Gram matrix, so
+    accuracy is limited to ~sqrt(machine epsilon) for the smallest values.
+    Sufficient for rank/identifiability analysis. *)

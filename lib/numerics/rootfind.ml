@@ -1,0 +1,100 @@
+exception No_bracket
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then raise No_bracket
+  else begin
+    let a = ref a and b = ref b and fa = ref fa in
+    let result = ref ((!a +. !b) /. 2.0) in
+    (try
+       for _ = 1 to max_iter do
+         let mid = (!a +. !b) /. 2.0 in
+         result := mid;
+         let fm = f mid in
+         if fm = 0.0 || (!b -. !a) /. 2.0 < tol then raise Exit;
+         if !fa *. fm < 0.0 then b := mid
+         else begin
+           a := mid;
+           fa := fm
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then raise No_bracket
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let iter = ref 0 in
+    while Float.abs !fb > 0.0 && Float.abs (!b -. !a) > tol && !iter < max_iter do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* Inverse quadratic interpolation. *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else (* Secant. *)
+          !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo = ((3.0 *. !a) +. !b) /. 4.0 in
+      let between = (s >= Float.min lo !b && s <= Float.max lo !b) in
+      let use_bisection =
+        (not between)
+        || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
+        || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0)
+        || (!mflag && Float.abs (!b -. !c) < tol)
+        || ((not !mflag) && Float.abs (!c -. !d) < tol)
+      in
+      let s = if use_bisection then (!a +. !b) /. 2.0 else s in
+      mflag := use_bisection;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0.0 then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in
+        a := !b;
+        b := t;
+        let t = !fa in
+        fa := !fb;
+        fb := t
+      end
+    done;
+    !b
+  end
+
+let find_bracket f ~x0 ~step ~max_expand =
+  let rec go k step =
+    if k > max_expand then None
+    else begin
+      let a = x0 -. step and b = x0 +. step in
+      if f a *. f b <= 0.0 then Some (a, b) else go (k + 1) (step *. 2.0)
+    end
+  in
+  go 0 step

@@ -1,0 +1,14 @@
+(** Scalar root finding on a bracketing interval. *)
+
+exception No_bracket
+(** Raised when [f a] and [f b] have the same sign. *)
+
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float -> float
+
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float -> float
+(** Brent's method: inverse quadratic interpolation with bisection
+    safeguards. *)
+
+val find_bracket :
+  (float -> float) -> x0:float -> step:float -> max_expand:int -> (float * float) option
+(** Expand outward from [x0] until a sign change is found. *)

@@ -1,0 +1,28 @@
+(** Special functions used by the statistical models: error function,
+    Gaussian density/CDF/quantile, log-gamma. *)
+
+val erf : float -> float
+(** Error function, absolute error below ~1e-7 (Abramowitz–Stegun 7.1.26
+    refined by one Newton correction of the complement). *)
+
+val erfc : float -> float
+
+val normal_pdf : mean:float -> std:float -> float -> float
+val normal_cdf : mean:float -> std:float -> float -> float
+
+val normal_ppf : mean:float -> std:float -> float -> float
+(** Inverse CDF (Acklam's rational approximation, refined by one Halley
+    step). Input must lie strictly in (0, 1). *)
+
+val log_gamma : float -> float
+(** Lanczos approximation, valid for positive arguments. *)
+
+val gamma_inc_lower : a:float -> float -> float
+(** Regularized lower incomplete gamma P(a, x) ∈ [0, 1] (series for
+    x < a+1, continued fraction otherwise). Requires [a > 0], [x >= 0]. *)
+
+val chi2_cdf : dof:int -> float -> float
+(** χ² cumulative distribution, P(X ≤ x) with [dof] degrees of freedom. *)
+
+val chi2_sf : dof:int -> float -> float
+(** χ² survival function (the lack-of-fit p-value companion). *)

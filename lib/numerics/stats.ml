@@ -1,0 +1,113 @@
+let mean = Vec.mean
+
+let variance x =
+  let n = Array.length x in
+  assert (n > 0);
+  if n = 1 then 0.0
+  else begin
+    let m = mean x in
+    let acc = ref 0.0 in
+    Array.iter (fun xi -> acc := !acc +. ((xi -. m) *. (xi -. m))) x;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std x = sqrt (variance x)
+
+let cv x =
+  let m = mean x in
+  if m = 0.0 then Float.infinity else std x /. Float.abs m
+
+let quantile x q =
+  assert (Array.length x > 0);
+  assert (q >= 0.0 && q <= 1.0);
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let w = pos -. float_of_int lo in
+  ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median x = quantile x 0.5
+
+let covariance x y =
+  assert (Array.length x = Array.length y);
+  let n = Array.length x in
+  assert (n > 1);
+  let mx = mean x and my = mean y in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((x.(i) -. mx) *. (y.(i) -. my))
+  done;
+  !acc /. float_of_int (n - 1)
+
+let correlation x y =
+  let sx = std x and sy = std y in
+  if sx = 0.0 || sy = 0.0 then 0.0 else covariance x y /. (sx *. sy)
+
+let rmse x y =
+  assert (Array.length x = Array.length y);
+  let n = Array.length x in
+  assert (n > 0);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let mae x y =
+  assert (Array.length x = Array.length y);
+  let n = Array.length x in
+  assert (n > 0);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.abs (x.(i) -. y.(i))
+  done;
+  !acc /. float_of_int n
+
+let max_abs_error x y =
+  assert (Array.length x = Array.length y);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := Float.max !acc (Float.abs (x.(i) -. y.(i)))
+  done;
+  !acc
+
+let nrmse x y =
+  let range = Vec.max x -. Vec.min x in
+  if range = 0.0 then Float.infinity else rmse x y /. range
+
+type histogram = { edges : Vec.t; counts : Vec.t }
+
+let histogram ?weights ~bins ~lo ~hi x =
+  assert (bins > 0);
+  assert (hi > lo);
+  let weights =
+    match weights with
+    | Some w ->
+      assert (Array.length w = Array.length x);
+      w
+    | None -> Array.make (Array.length x) 1.0
+  in
+  let edges = Vec.linspace lo hi (bins + 1) in
+  let counts = Array.make bins 0.0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iteri
+    (fun i xi ->
+      let bin = int_of_float (Float.floor ((xi -. lo) /. width)) in
+      let bin = if xi >= hi && xi <= hi +. 1e-12 then bins - 1 else bin in
+      if bin >= 0 && bin < bins then counts.(bin) <- counts.(bin) +. weights.(i))
+    x;
+  { edges; counts }
+
+let histogram_density { edges; counts } =
+  let total = Vec.sum counts in
+  if total = 0.0 then Array.map (fun _ -> 0.0) counts
+  else
+    Array.mapi
+      (fun i c ->
+        let width = edges.(i + 1) -. edges.(i) in
+        c /. (total *. width))
+      counts

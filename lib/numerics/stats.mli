@@ -1,0 +1,34 @@
+(** Descriptive statistics and error metrics over [float array] samples. *)
+
+val mean : Vec.t -> float
+val variance : Vec.t -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton samples. *)
+
+val std : Vec.t -> float
+val cv : Vec.t -> float
+(** Coefficient of variation std/|mean|. *)
+
+val median : Vec.t -> float
+val quantile : Vec.t -> float -> float
+(** Linear-interpolation quantile, [q] in \[0, 1\]. *)
+
+val covariance : Vec.t -> Vec.t -> float
+val correlation : Vec.t -> Vec.t -> float
+(** Pearson correlation; 0 when either input is constant. *)
+
+val rmse : Vec.t -> Vec.t -> float
+val mae : Vec.t -> Vec.t -> float
+val max_abs_error : Vec.t -> Vec.t -> float
+
+val nrmse : Vec.t -> Vec.t -> float
+(** RMSE normalized by the range of the first (reference) argument. *)
+
+type histogram = { edges : Vec.t; counts : Vec.t }
+(** [edges] has [n+1] entries for [n] bins; [counts] may be weighted. *)
+
+val histogram : ?weights:Vec.t -> bins:int -> lo:float -> hi:float -> Vec.t -> histogram
+(** Values outside [\[lo, hi)] are clamped into the end bins when within
+    round-off, otherwise dropped. *)
+
+val histogram_density : histogram -> Vec.t
+(** Counts normalized so the histogram integrates to 1. *)

@@ -1,0 +1,44 @@
+let solve ~lower ~diag ~upper ~rhs =
+  let n = Array.length diag in
+  assert (Array.length lower = n - 1);
+  assert (Array.length upper = n - 1);
+  assert (Array.length rhs = n);
+  let c' = Array.make (n - 1) 0.0 in
+  let d' = Array.make n 0.0 in
+  if diag.(0) = 0.0 then failwith "Tridiag.solve: zero pivot";
+  if n > 1 then c'.(0) <- upper.(0) /. diag.(0);
+  d'.(0) <- rhs.(0) /. diag.(0);
+  for i = 1 to n - 1 do
+    let denom = diag.(i) -. (lower.(i - 1) *. (if i - 1 < n - 1 then c'.(i - 1) else 0.0)) in
+    if denom = 0.0 then failwith "Tridiag.solve: zero pivot";
+    if i < n - 1 then c'.(i) <- upper.(i) /. denom;
+    d'.(i) <- (rhs.(i) -. (lower.(i - 1) *. d'.(i - 1))) /. denom
+  done;
+  let x = Array.make n 0.0 in
+  x.(n - 1) <- d'.(n - 1);
+  for i = n - 2 downto 0 do
+    x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+  done;
+  x
+
+(* Sherman-Morrison: write the cyclic matrix as T + u vᵀ with
+   u = (gamma, 0, ..., 0, bottom_left)ᵀ? The standard trick: choose
+   gamma = -diag.(0), u = (gamma, 0, .., beta)ᵀ, v = (1, 0, .., alpha/gamma)ᵀ
+   where alpha = top-right corner, beta = bottom-left corner. *)
+let solve_cyclic ~lower ~diag ~upper ~corner ~rhs =
+  let n = Array.length diag in
+  assert (n >= 3);
+  let alpha, beta = corner in
+  let gamma = -.diag.(0) in
+  let diag' = Array.copy diag in
+  diag'.(0) <- diag.(0) -. gamma;
+  diag'.(n - 1) <- diag.(n - 1) -. (alpha *. beta /. gamma);
+  let y = solve ~lower ~diag:diag' ~upper ~rhs in
+  let u = Array.make n 0.0 in
+  u.(0) <- gamma;
+  u.(n - 1) <- beta;
+  let z = solve ~lower ~diag:diag' ~upper ~rhs:u in
+  let vy = y.(0) +. (alpha /. gamma *. y.(n - 1)) in
+  let vz = z.(0) +. (alpha /. gamma *. z.(n - 1)) in
+  let factor = vy /. (1.0 +. vz) in
+  Array.init n (fun i -> y.(i) -. (factor *. z.(i)))

@@ -1,0 +1,13 @@
+(** Tridiagonal linear systems (Thomas algorithm), the workhorse of natural
+    cubic-spline interpolation. *)
+
+val solve : lower:Vec.t -> diag:Vec.t -> upper:Vec.t -> rhs:Vec.t -> Vec.t
+(** Solve a tridiagonal system of size n: [lower] has n-1 entries (row i,
+    column i-1), [diag] has n, [upper] has n-1 (row i, column i+1). The
+    system must not require pivoting (true for the diagonally dominant
+    spline systems). Raises [Failure] on a zero pivot. *)
+
+val solve_cyclic : lower:Vec.t -> diag:Vec.t -> upper:Vec.t -> corner:float * float -> rhs:Vec.t -> Vec.t
+(** Cyclic tridiagonal system with additional corner entries
+    [(top_right, bottom_left)] — used for periodic splines — via the
+    Sherman–Morrison formula. Size must be at least 3. *)

@@ -1,0 +1,128 @@
+open Numerics
+
+type options = { max_iter : int; f_tol : float; x_tol : float }
+
+let default_options = { max_iter = 2000; f_tol = 1e-10; x_tol = 1e-10 }
+
+type result = {
+  x : Vec.t;
+  f : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+let minimize ?(options = default_options) ?(initial_step = 0.1) f ~x0 =
+  let n = Array.length x0 in
+  assert (n >= 1);
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    f x
+  in
+  (* Initial simplex: x0 plus n perturbed vertices. *)
+  let vertices =
+    Array.init (n + 1) (fun i ->
+        if i = 0 then Vec.copy x0
+        else begin
+          let v = Vec.copy x0 in
+          let j = i - 1 in
+          v.(j) <- (if v.(j) = 0.0 then 0.00025 else v.(j) *. (1.0 +. initial_step));
+          v
+        end)
+  in
+  let values = Array.map eval vertices in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < options.max_iter do
+    incr iter;
+    let idx = order () in
+    let best = idx.(0) and worst = idx.(n) and second_worst = idx.(n - 1) in
+    (* Convergence tests. *)
+    let f_spread = Float.abs (values.(worst) -. values.(best)) in
+    let x_spread =
+      let acc = ref 0.0 in
+      for i = 1 to n do
+        acc := Float.max !acc (Vec.norm_inf (Vec.sub vertices.(idx.(i)) vertices.(best)))
+      done;
+      !acc
+    in
+    if f_spread < options.f_tol && x_spread < options.x_tol then converged := true
+    else begin
+      (* Centroid of all but the worst. *)
+      let centroid = Vec.zeros n in
+      for i = 0 to n do
+        if i <> worst then Vec.axpy (1.0 /. float_of_int n) vertices.(i) centroid
+      done;
+      let point coeff =
+        Array.init n (fun j -> centroid.(j) +. (coeff *. (centroid.(j) -. vertices.(worst).(j))))
+      in
+      let reflected = point 1.0 in
+      let f_reflected = eval reflected in
+      if f_reflected < values.(best) then begin
+        (* Try expansion. *)
+        let expanded = point 2.0 in
+        let f_expanded = eval expanded in
+        if f_expanded < f_reflected then begin
+          vertices.(worst) <- expanded;
+          values.(worst) <- f_expanded
+        end
+        else begin
+          vertices.(worst) <- reflected;
+          values.(worst) <- f_reflected
+        end
+      end
+      else if f_reflected < values.(second_worst) then begin
+        vertices.(worst) <- reflected;
+        values.(worst) <- f_reflected
+      end
+      else begin
+        (* Contraction (outside if the reflection improved on the worst). *)
+        let outside = f_reflected < values.(worst) in
+        let contracted = point (if outside then 0.5 else -0.5) in
+        let f_contracted = eval contracted in
+        let accept =
+          if outside then f_contracted <= f_reflected else f_contracted < values.(worst)
+        in
+        if accept then begin
+          vertices.(worst) <- contracted;
+          values.(worst) <- f_contracted
+        end
+        else begin
+          (* Shrink toward the best vertex. *)
+          for i = 0 to n do
+            if i <> best then begin
+              vertices.(i) <-
+                Array.init n (fun j ->
+                    vertices.(best).(j) +. (0.5 *. (vertices.(i).(j) -. vertices.(best).(j))));
+              values.(i) <- eval vertices.(i)
+            end
+          done
+        end
+      end
+    end
+  done;
+  let idx = order () in
+  {
+    x = vertices.(idx.(0));
+    f = values.(idx.(0));
+    iterations = !iter;
+    evaluations = !evaluations;
+    converged = !converged;
+  }
+
+let minimize_bounded ?options ?initial_step ~lo ~hi f ~x0 =
+  let n = Array.length x0 in
+  assert (Array.length lo = n && Array.length hi = n);
+  for i = 0 to n - 1 do
+    assert (lo.(i) <= hi.(i))
+  done;
+  let clamp x = Array.init n (fun i -> Float.max lo.(i) (Float.min hi.(i) x.(i))) in
+  let wrapped x = f (clamp x) in
+  let result = minimize ?options ?initial_step wrapped ~x0 in
+  { result with x = clamp result.x; f = f (clamp result.x) }

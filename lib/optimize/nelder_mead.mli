@@ -1,0 +1,37 @@
+(** Nelder–Mead downhill simplex minimization (derivative free), used for
+    the paper's §5 application: fitting ODE-model parameters to expression
+    data. *)
+
+open Numerics
+
+type options = {
+  max_iter : int;
+  f_tol : float;  (** stop when the simplex f-spread falls below this *)
+  x_tol : float;  (** stop when the simplex diameter falls below this *)
+}
+
+val default_options : options
+
+type result = {
+  x : Vec.t;
+  f : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+val minimize :
+  ?options:options -> ?initial_step:float -> (Vec.t -> float) -> x0:Vec.t -> result
+(** Standard reflection/expansion/contraction/shrink simplex started from
+    [x0] perturbed by [initial_step] (default 0.1 relative, 0.00025
+    absolute for zero coordinates, as in common implementations). *)
+
+val minimize_bounded :
+  ?options:options ->
+  ?initial_step:float ->
+  lo:Vec.t ->
+  hi:Vec.t ->
+  (Vec.t -> float) ->
+  x0:Vec.t ->
+  result
+(** Box-constrained variant via coordinate clamping inside the objective. *)

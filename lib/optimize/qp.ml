@@ -1,0 +1,190 @@
+open Numerics
+
+type problem = {
+  h : Mat.t;
+  g : Vec.t;
+  c_eq : Mat.t option;
+  d_eq : Vec.t option;
+  a_ineq : Mat.t option;
+  b_ineq : Vec.t option;
+}
+
+type solution = {
+  x : Vec.t;
+  active : int list;
+  iterations : int;
+  kkt_residual : float;
+}
+
+exception Infeasible of string
+
+let unconstrained h g = Linalg.solve_spd h (Vec.neg g)
+
+(* KKT system [H Cᵀ; C 0] [x; ν] = [−g; d]. *)
+let solve_equality h g ~c ~d =
+  let n = h.Mat.rows in
+  let m = c.Mat.rows in
+  assert (c.Mat.cols = n);
+  assert (Array.length d = m);
+  let kkt = Mat.zeros (n + m) (n + m) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Mat.set kkt i j (Mat.get h i j)
+    done
+  done;
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      Mat.set kkt (n + i) j (Mat.get c i j);
+      Mat.set kkt j (n + i) (Mat.get c i j)
+    done
+  done;
+  let rhs = Array.init (n + m) (fun i -> if i < n then -.g.(i) else d.(i - n)) in
+  let sol = Linalg.solve_sym_indefinite kkt rhs in
+  (Array.sub sol 0 n, Array.sub sol n m)
+
+let stationarity_residual problem x nu z =
+  (* ∇f − C_eqᵀν − A_ineqᵀz, scaled by the problem magnitude. *)
+  let r = Vec.add (Mat.mv problem.h x) problem.g in
+  (match problem.c_eq with Some c -> Vec.axpy (-1.0) (Mat.tmv c nu) r | None -> ());
+  (match problem.a_ineq with Some a -> Vec.axpy (-1.0) (Mat.tmv a z) r | None -> ());
+  let scale = Float.max 1.0 (Float.max (Vec.norm_inf problem.g) (Mat.max_abs problem.h)) in
+  Vec.norm_inf r /. scale
+
+(* Infeasible-start primal-dual path following for the inequality case. *)
+let solve_interior_point ~tol ~max_iter problem a b =
+  let n = problem.h.Mat.rows in
+  let m_ineq = a.Mat.rows in
+  let n_eq = match problem.c_eq with Some c -> c.Mat.rows | None -> 0 in
+  let d_eq = match problem.d_eq with Some d -> d | None -> [||] in
+  let x = ref (Vec.zeros n) in
+  let y = ref (Vec.zeros n_eq) in
+  let s = ref (Vec.ones m_ineq) in
+  let z = ref (Vec.ones m_ineq) in
+  let mf = float_of_int m_ineq in
+  let duality_gap () = Vec.dot !s !z /. mf in
+  let residuals () =
+    (* r_dual = Hx + g − Cᵀy − Aᵀz; r_eq = Cx − d; r_ineq = Ax − s − b. *)
+    let r_dual = Vec.add (Mat.mv problem.h !x) problem.g in
+    (match problem.c_eq with Some c -> Vec.axpy (-1.0) (Mat.tmv c !y) r_dual | None -> ());
+    Vec.axpy (-1.0) (Mat.tmv a !z) r_dual;
+    let r_eq =
+      match problem.c_eq with
+      | Some c -> Vec.sub (Mat.mv c !x) d_eq
+      | None -> [||]
+    in
+    let r_ineq = Vec.sub (Vec.sub (Mat.mv a !x) !s) b in
+    (r_dual, r_eq, r_ineq)
+  in
+  let scale =
+    Float.max 1.0
+      (Float.max (Vec.norm_inf problem.g)
+         (Float.max (Mat.max_abs problem.h) (Vec.norm_inf b)))
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let r_dual, r_eq, r_ineq = residuals () in
+    let mu = duality_gap () in
+    if
+      mu < tol *. scale
+      && Vec.norm_inf r_dual < tol *. scale
+      && (n_eq = 0 || Vec.norm_inf r_eq < tol *. scale)
+      && Vec.norm_inf r_ineq < tol *. scale
+    then converged := true
+    else begin
+      (* Centering parameter: aggressive once residuals are small. *)
+      let sigma = if Vec.norm_inf r_ineq < 1e-8 *. scale then 0.1 else 0.3 in
+      (* Reduced system over (Δx, Δy):
+         (H + AᵀS⁻¹ZA)Δx − CᵀΔy = −r_dual + Aᵀ(σμS⁻¹e − z − S⁻¹Z r_ineq)
+         C Δx = −r_eq. *)
+      let s_inv_z = Array.init m_ineq (fun i -> !z.(i) /. !s.(i)) in
+      let h_aug = Mat.copy problem.h in
+      for i = 0 to m_ineq - 1 do
+        let row = Mat.row a i in
+        let w = s_inv_z.(i) in
+        for p = 0 to n - 1 do
+          if row.(p) <> 0.0 then
+            for q = 0 to n - 1 do
+              Mat.set h_aug p q (Mat.get h_aug p q +. (w *. row.(p) *. row.(q)))
+            done
+        done
+      done;
+      let rhs_extra =
+        (* Aᵀ(σμS⁻¹e − z − S⁻¹Z·r_ineq) *)
+        let v =
+          Array.init m_ineq (fun i ->
+              (sigma *. mu /. !s.(i)) -. !z.(i) -. (s_inv_z.(i) *. r_ineq.(i)))
+        in
+        Mat.tmv a v
+      in
+      let rhs_x = Vec.add (Vec.neg r_dual) rhs_extra in
+      let dx, dy =
+        match problem.c_eq with
+        | None -> (Linalg.solve_spd h_aug rhs_x, [||])
+        | Some c ->
+          (* We need [H_aug −Cᵀ; C 0][Δx; Δy] = [rhs_x; −r_eq], while
+             solve_equality solves [H Cᵀ; C 0][x; ν] = [−g; d]. Passing
+             g = −rhs_x, d = −r_eq yields the same Δx with ν = −Δy. *)
+          let dx, multipliers = solve_equality h_aug (Vec.neg rhs_x) ~c ~d:(Vec.neg r_eq) in
+          (dx, Vec.neg multipliers)
+      in
+      let ds = Vec.add (Mat.mv a dx) r_ineq in
+      let dz =
+        Array.init m_ineq (fun i ->
+            ((sigma *. mu) -. (!z.(i) *. !s.(i)) -. (!z.(i) *. ds.(i))) /. !s.(i))
+      in
+      (* Fraction-to-boundary step sizes. *)
+      let step_for v dv =
+        let alpha = ref 1.0 in
+        for i = 0 to Array.length v - 1 do
+          if dv.(i) < 0.0 then alpha := Float.min !alpha (-0.995 *. v.(i) /. dv.(i))
+        done;
+        !alpha
+      in
+      let alpha_p = step_for !s ds in
+      let alpha_d = step_for !z dz in
+      Vec.axpy alpha_p dx !x;
+      (match problem.c_eq with
+      | Some _ -> Vec.axpy alpha_d dy !y
+      | None -> ());
+      Vec.axpy alpha_p ds !s;
+      Vec.axpy alpha_d dz !z
+    end
+  done;
+  if not !converged then raise (Infeasible "Qp.solve: interior-point iteration limit");
+  let active =
+    let threshold = sqrt tol *. Float.max 1.0 (Vec.norm_inf !s) in
+    List.filter (fun i -> !s.(i) < threshold) (List.init m_ineq (fun i -> i))
+  in
+  {
+    x = !x;
+    active;
+    iterations = !iterations;
+    kkt_residual = stationarity_residual problem !x !y !z;
+  }
+
+let solve ?(tol = 1e-9) ?(max_iter = 100) problem =
+  let n = problem.h.Mat.rows in
+  assert (Array.length problem.g = n);
+  match (problem.a_ineq, problem.b_ineq) with
+  | None, None | None, Some _ ->
+    (* Equality-only (or unconstrained): one KKT solve. *)
+    (match (problem.c_eq, problem.d_eq) with
+    | Some c, Some d ->
+      let x, nu = solve_equality problem.h problem.g ~c ~d in
+      {
+        x;
+        active = [];
+        iterations = 1;
+        kkt_residual = stationarity_residual problem x nu [||];
+      }
+    | None, _ ->
+      let x = unconstrained problem.h problem.g in
+      { x; active = []; iterations = 1; kkt_residual = stationarity_residual problem x [||] [||] }
+    | Some _, None -> invalid_arg "Qp.solve: c_eq without d_eq")
+  | Some a, Some b ->
+    assert (a.Mat.cols = n);
+    assert (Array.length b = a.Mat.rows);
+    solve_interior_point ~tol:(Float.max tol 1e-12) ~max_iter problem a b
+  | Some _, None -> invalid_arg "Qp.solve: a_ineq without b_ineq"

@@ -1,0 +1,45 @@
+(** Convex quadratic programming:
+
+    minimize ½ xᵀ H x + gᵀ x
+    subject to  C x = d   (equalities)
+    and         A x ≥ b   (inequalities)
+
+    Equality-only problems are solved directly through the KKT system;
+    problems with inequalities use a primal-dual interior-point method
+    (infeasible-start path following with a Mehrotra-style centering
+    parameter), which is robust to the heavy degeneracy of "function ≥ 0 on
+    a fine grid" constraint sets. [H] must be symmetric positive definite
+    (the deconvolution problem guarantees this through the λ-regularizer). *)
+
+open Numerics
+
+type problem = {
+  h : Mat.t;  (** n × n, symmetric positive definite *)
+  g : Vec.t;  (** linear term, length n *)
+  c_eq : Mat.t option;  (** equality constraint rows *)
+  d_eq : Vec.t option;
+  a_ineq : Mat.t option;  (** inequality constraint rows (≥) *)
+  b_ineq : Vec.t option;
+}
+
+type solution = {
+  x : Vec.t;
+  active : int list;  (** inequality constraints essentially active at the solution *)
+  iterations : int;
+  kkt_residual : float;  (** infinity norm of the stationarity residual *)
+}
+
+exception Infeasible of string
+
+val unconstrained : Mat.t -> Vec.t -> Vec.t
+(** Minimizer of the pure quadratic: solves [H x = −g]. *)
+
+val solve_equality : Mat.t -> Vec.t -> c:Mat.t -> d:Vec.t -> Vec.t * Vec.t
+(** Equality-constrained minimizer via the KKT system; returns
+    [(x, multipliers)]. *)
+
+val solve : ?tol:float -> ?max_iter:int -> problem -> solution
+(** Full solve. [tol] bounds both the complementarity measure and the
+    scaled KKT residuals at termination (default 1e-9); [max_iter] defaults
+    to 100 interior-point steps. Raises {!Infeasible} when the iteration
+    fails to converge. *)

@@ -1,0 +1,62 @@
+open Numerics
+
+type fit = {
+  x : Vec.t;
+  fitted : Vec.t;
+  residuals : Vec.t;
+  rss : float;
+  edf : float;
+  gcv : float;
+  lambda : float;
+}
+
+let normal_matrix ~a ~weights ~penalty ~lambda =
+  let m, n = Mat.dims a in
+  assert (Array.length weights = m);
+  assert (Mat.dims penalty = (n, n));
+  let out = Mat.scale lambda penalty in
+  for r = 0 to m - 1 do
+    let row = Mat.row a r in
+    let w = weights.(r) in
+    if w <> 0.0 then
+      for i = 0 to n - 1 do
+        if row.(i) <> 0.0 then
+          for j = 0 to n - 1 do
+            Mat.set out i j (Mat.get out i j +. (w *. row.(i) *. row.(j)))
+          done
+      done
+  done;
+  out
+
+let solve ~a ~b ?weights ~penalty ~lambda () =
+  assert (lambda >= 0.0);
+  let m, _n = Mat.dims a in
+  assert (Array.length b = m);
+  let weights = match weights with Some w -> w | None -> Vec.ones m in
+  let normal = normal_matrix ~a ~weights ~penalty ~lambda in
+  (* Right-hand side AᵀWb. *)
+  let wb = Vec.mul weights b in
+  let rhs = Mat.tmv a wb in
+  let factor = Linalg.cholesky_factor normal in
+  let x = Linalg.cholesky_solve factor rhs in
+  let fitted = Mat.mv a x in
+  let residuals = Vec.sub b fitted in
+  let rss =
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      acc := !acc +. (weights.(i) *. residuals.(i) *. residuals.(i))
+    done;
+    !acc
+  in
+  (* Effective dof: tr(H) with H = A (AᵀWA+λP)⁻¹ AᵀW
+     = Σ_m w_m a_mᵀ (normal)⁻¹ a_m. *)
+  let edf = ref 0.0 in
+  for r = 0 to m - 1 do
+    let row = Mat.row a r in
+    let z = Linalg.cholesky_solve factor row in
+    edf := !edf +. (weights.(r) *. Vec.dot row z)
+  done;
+  let mf = float_of_int m in
+  let denom = mf -. !edf in
+  let gcv = if denom <= 0.0 then Float.infinity else mf *. rss /. (denom *. denom) in
+  { x; fitted; residuals; rss; edf = !edf; gcv; lambda }

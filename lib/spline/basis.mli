@@ -1,0 +1,37 @@
+(** A common interface for spline bases on an interval.
+
+    A basis is a finite family of functions {ψ_i}; the deconvolution
+    estimate is the combination f_α(φ) = Σ α_i ψ_i(φ) (paper eq. 4). *)
+
+open Numerics
+
+type t = {
+  name : string;
+  size : int;  (** number of basis functions *)
+  lo : float;
+  hi : float;  (** supported interval *)
+  eval : int -> float -> float;  (** ψ_i(x) *)
+  deriv : int -> float -> float;  (** ψ_i'(x) *)
+  deriv2 : int -> float -> float;  (** ψ_i''(x) *)
+  breaks : Vec.t;
+      (** breakpoints between which every ψ_i'' is polynomial of degree <= 1;
+          used for exact penalty quadrature *)
+}
+
+val eval_vector : t -> float -> Vec.t
+(** All basis functions at a point: [ψ_1(x); ...; ψ_n(x)]. *)
+
+val deriv_vector : t -> float -> Vec.t
+val deriv2_vector : t -> float -> Vec.t
+
+val design : t -> Vec.t -> Mat.t
+(** [design basis xs] has entry (m, i) = ψ_i(xs.(m)). *)
+
+val design_deriv : t -> Vec.t -> Mat.t
+val design_deriv2 : t -> Vec.t -> Mat.t
+
+val combine : t -> Vec.t -> float -> float
+(** [combine basis alpha x] evaluates f_α(x). *)
+
+val combine_deriv : t -> Vec.t -> float -> float
+val combine_many : t -> Vec.t -> Vec.t -> Vec.t

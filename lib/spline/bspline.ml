@@ -1,0 +1,86 @@
+open Numerics
+
+(* Order-4 (cubic) B-splines on a clamped knot vector, evaluated by
+   Cox–de Boor recursion. For n basis functions the knot vector has n + 4
+   entries: 4 copies of lo, n - 4 uniform interior knots, 4 copies of hi. *)
+
+let knot_vector ~lo ~hi ~num_basis =
+  let interior = num_basis - 4 in
+  Array.init (num_basis + 4) (fun i ->
+      if i < 4 then lo
+      else if i >= num_basis then hi
+      else lo +. ((hi -. lo) *. float_of_int (i - 3) /. float_of_int (interior + 1)))
+
+(* B_{i,order}(x); the half-open convention is used except at the right
+   endpoint, which is attributed to the last interval. *)
+let rec bspl t i order x hi =
+  if order = 1 then begin
+    let in_interval =
+      (x >= t.(i) && x < t.(i + 1)) || (x = hi && t.(i) < t.(i + 1) && t.(i + 1) = hi)
+    in
+    if in_interval then 1.0 else 0.0
+  end
+  else begin
+    let left =
+      let denom = t.(i + order - 1) -. t.(i) in
+      if denom = 0.0 then 0.0 else (x -. t.(i)) /. denom *. bspl t i (order - 1) x hi
+    in
+    let right =
+      let denom = t.(i + order) -. t.(i + 1) in
+      if denom = 0.0 then 0.0
+      else (t.(i + order) -. x) /. denom *. bspl t (i + 1) (order - 1) x hi
+    in
+    left +. right
+  end
+
+let rec bspl_deriv t i order x hi =
+  if order = 1 then 0.0
+  else begin
+    let left =
+      let denom = t.(i + order - 1) -. t.(i) in
+      if denom = 0.0 then 0.0 else float_of_int (order - 1) /. denom *. bspl t i (order - 1) x hi
+    in
+    let right =
+      let denom = t.(i + order) -. t.(i + 1) in
+      if denom = 0.0 then 0.0
+      else float_of_int (order - 1) /. denom *. bspl t (i + 1) (order - 1) x hi
+    in
+    left -. right
+  end
+
+and bspl_deriv2 t i order x hi =
+  if order <= 2 then 0.0
+  else begin
+    let left =
+      let denom = t.(i + order - 1) -. t.(i) in
+      if denom = 0.0 then 0.0
+      else float_of_int (order - 1) /. denom *. bspl_deriv t i (order - 1) x hi
+    in
+    let right =
+      let denom = t.(i + order) -. t.(i + 1) in
+      if denom = 0.0 then 0.0
+      else float_of_int (order - 1) /. denom *. bspl_deriv t (i + 1) (order - 1) x hi
+    in
+    left -. right
+  end
+
+let create ~lo ~hi ~num_basis =
+  assert (num_basis >= 4);
+  assert (hi > lo);
+  let t = knot_vector ~lo ~hi ~num_basis in
+  let breaks =
+    (* Distinct knots are the polynomial breakpoints. *)
+    let acc = ref [ t.(0) ] in
+    Array.iter (fun k -> match !acc with x :: _ when x = k -> () | _ -> acc := k :: !acc) t;
+    Vec.of_list (List.rev !acc)
+  in
+  {
+    Basis.name = "bspline-cubic";
+    size = num_basis;
+    lo;
+    hi;
+    eval = (fun i x -> bspl t i 4 x hi);
+    deriv = (fun i x -> bspl_deriv t i 4 x hi);
+    deriv2 = (fun i x -> bspl_deriv2 t i 4 x hi);
+    breaks;
+  }

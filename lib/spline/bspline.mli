@@ -1,0 +1,8 @@
+(** Clamped cubic B-spline basis on an interval (P-spline alternative to the
+    paper's natural basis; used in the basis-choice ablation). *)
+
+
+val create : lo:float -> hi:float -> num_basis:int -> Basis.t
+(** [create ~lo ~hi ~num_basis] builds [num_basis >= 4] cubic B-splines on a
+    clamped uniform knot vector over [\[lo, hi\]]. The functions form a
+    partition of unity on the interval. *)

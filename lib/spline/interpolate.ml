@@ -1,0 +1,102 @@
+open Numerics
+
+(* Standard second-derivative representation: on [x_i, x_{i+1}] with
+   h_i = x_{i+1} - x_i and curvatures m_i = f''(x_i),
+   f(x) = m_i (x_{i+1}-x)³/(6h) + m_{i+1} (x-x_i)³/(6h)
+        + (y_i/h - m_i h/6)(x_{i+1}-x) + (y_{i+1}/h - m_{i+1} h/6)(x-x_i). *)
+type t = { x : Vec.t; y : Vec.t; m : Vec.t }
+
+let check_grid x y =
+  let n = Array.length x in
+  assert (n = Array.length y);
+  assert (n >= 2);
+  for i = 0 to n - 2 do
+    assert (x.(i) < x.(i + 1))
+  done;
+  n
+
+let natural ~x ~y =
+  let n = check_grid x y in
+  if n = 2 then { x; y; m = [| 0.0; 0.0 |] }
+  else begin
+    let h = Array.init (n - 1) (fun i -> x.(i + 1) -. x.(i)) in
+    (* Interior equations: h_{i-1} m_{i-1} + 2(h_{i-1}+h_i) m_i + h_i m_{i+1}
+       = 6 ((y_{i+1}-y_i)/h_i - (y_i-y_{i-1})/h_{i-1}), plus m_0 = m_{n-1} = 0. *)
+    let size = n - 2 in
+    let diag = Array.init size (fun i -> 2.0 *. (h.(i) +. h.(i + 1))) in
+    let lower = Array.init (size - 1) (fun i -> h.(i + 1)) in
+    let upper = Array.init (size - 1) (fun i -> h.(i + 1)) in
+    let rhs =
+      Array.init size (fun i ->
+          6.0
+          *. (((y.(i + 2) -. y.(i + 1)) /. h.(i + 1)) -. ((y.(i + 1) -. y.(i)) /. h.(i))))
+    in
+    let interior =
+      if size = 1 then [| rhs.(0) /. diag.(0) |]
+      else Tridiag.solve ~lower ~diag ~upper ~rhs
+    in
+    let m = Array.make n 0.0 in
+    Array.blit interior 0 m 1 size;
+    { x; y; m }
+  end
+
+let periodic ~x ~y =
+  let n = check_grid x y in
+  assert (n >= 4);
+  assert (Float.abs (y.(0) -. y.(n - 1)) < 1e-9);
+  (* Unknowns m_0 .. m_{n-2} with m_{n-1} = m_0; cyclic system. *)
+  let h = Array.init (n - 1) (fun i -> x.(i + 1) -. x.(i)) in
+  let size = n - 1 in
+  let hm i = h.((i + size - 1) mod size) in
+  (* h before node i (wrapping) *)
+  let hp i = h.(i mod size) in
+  let slope i =
+    (* slope of segment starting at node (i mod size) *)
+    let i = i mod size in
+    (y.(i + 1) -. y.(i)) /. h.(i)
+  in
+  let diag = Array.init size (fun i -> 2.0 *. (hm i +. hp i)) in
+  let lower = Array.init (size - 1) (fun i -> hm (i + 1)) in
+  let upper = Array.init (size - 1) (fun i -> hp i) in
+  let rhs = Array.init size (fun i -> 6.0 *. (slope i -. slope (i + size - 1))) in
+  let corner = (hm 0, hp (size - 1)) in
+  (* top-right couples m_0 to m_{size-1}; bottom-left symmetric *)
+  let interior = Tridiag.solve_cyclic ~lower ~diag ~upper ~corner ~rhs in
+  let m = Array.init n (fun i -> if i = n - 1 then interior.(0) else interior.(i)) in
+  { x; y; m }
+
+let segment t v =
+  let n = Array.length t.x in
+  if v <= t.x.(0) then 0 else if v >= t.x.(n - 1) then n - 2 else Interp.bracket t.x v
+
+let eval t v =
+  let n = Array.length t.x in
+  if v <= t.x.(0) then t.y.(0)
+  else if v >= t.x.(n - 1) then t.y.(n - 1)
+  else begin
+    let i = segment t v in
+    let h = t.x.(i + 1) -. t.x.(i) in
+    let a = (t.x.(i + 1) -. v) /. h in
+    let b = (v -. t.x.(i)) /. h in
+    (a *. t.y.(i)) +. (b *. t.y.(i + 1))
+    +. (((a *. a *. a) -. a) *. t.m.(i) +. (((b *. b *. b) -. b) *. t.m.(i + 1)))
+       *. h *. h /. 6.0
+  end
+
+let deriv t v =
+  let i = segment t v in
+  let h = t.x.(i + 1) -. t.x.(i) in
+  let a = (t.x.(i + 1) -. v) /. h in
+  let b = (v -. t.x.(i)) /. h in
+  ((t.y.(i + 1) -. t.y.(i)) /. h)
+  +. ((((3.0 *. b *. b) -. 1.0) *. t.m.(i + 1) -. (((3.0 *. a *. a) -. 1.0) *. t.m.(i)))
+      *. h /. 6.0)
+
+let deriv2 t v =
+  let i = segment t v in
+  let h = t.x.(i + 1) -. t.x.(i) in
+  let a = (t.x.(i + 1) -. v) /. h in
+  let b = (v -. t.x.(i)) /. h in
+  (a *. t.m.(i)) +. (b *. t.m.(i + 1))
+
+let eval_many t vs = Array.map (eval t) vs

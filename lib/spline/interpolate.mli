@@ -1,0 +1,25 @@
+(** Exact cubic-spline interpolation through data points (as opposed to the
+    penalized regression splines in {!Natural}): the classical
+    second-derivative formulation solved with a tridiagonal system.
+
+    Used for resampling simulated trajectories onto phase grids and as an
+    independent check of the regression-spline machinery. *)
+
+open Numerics
+
+type t
+
+val natural : x:Vec.t -> y:Vec.t -> t
+(** Natural boundary conditions (f'' = 0 at both ends). [x] strictly
+    increasing, at least 2 points (2 points degenerate to a line). *)
+
+val periodic : x:Vec.t -> y:Vec.t -> t
+(** Periodic boundary conditions: f, f', f'' match across the ends.
+    Requires [y.(0) = y.(n-1)] up to 1e-9 and at least 4 points. *)
+
+val eval : t -> float -> float
+(** Clamped to the end values outside the data range. *)
+
+val deriv : t -> float -> float
+val deriv2 : t -> float -> float
+val eval_many : t -> Vec.t -> Vec.t

@@ -1,0 +1,44 @@
+let cube_plus v = if v > 0.0 then v *. v *. v else 0.0
+let sq_plus v = if v > 0.0 then v *. v else 0.0
+let plus v = if v > 0.0 then v else 0.0
+
+let create ~knots =
+  let k = Array.length knots in
+  assert (k >= 3);
+  for i = 0 to k - 2 do
+    assert (knots.(i) < knots.(i + 1))
+  done;
+  let xi_last = knots.(k - 1) in
+  let d j x =
+    (* j is a 0-based knot index, valid for j <= k-2. *)
+    (cube_plus (x -. knots.(j)) -. cube_plus (x -. xi_last)) /. (xi_last -. knots.(j))
+  in
+  let d_deriv j x =
+    3.0 *. (sq_plus (x -. knots.(j)) -. sq_plus (x -. xi_last)) /. (xi_last -. knots.(j))
+  in
+  let d_deriv2 j x =
+    6.0 *. (plus (x -. knots.(j)) -. plus (x -. xi_last)) /. (xi_last -. knots.(j))
+  in
+  let eval i x =
+    if i = 0 then 1.0
+    else if i = 1 then x
+    else d (i - 2) x -. d (k - 2) x
+  in
+  let deriv i x =
+    if i = 0 then 0.0 else if i = 1 then 1.0 else d_deriv (i - 2) x -. d_deriv (k - 2) x
+  in
+  let deriv2 i x =
+    if i = 0 || i = 1 then 0.0 else d_deriv2 (i - 2) x -. d_deriv2 (k - 2) x
+  in
+  {
+    Basis.name = "natural-cubic";
+    size = k;
+    lo = knots.(0);
+    hi = xi_last;
+    eval;
+    deriv;
+    deriv2;
+    breaks = Array.copy knots;
+  }
+
+let with_uniform_knots ~lo ~hi ~num_knots = create ~knots:(Knots.uniform ~lo ~hi num_knots)

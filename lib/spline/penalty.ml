@@ -1,0 +1,49 @@
+open Numerics
+
+let second_derivative (b : Basis.t) =
+  let n = b.size in
+  let nodes, weights = Integrate.gauss_legendre_nodes 3 in
+  let omega = Mat.zeros n n in
+  let breaks = b.breaks in
+  for interval = 0 to Array.length breaks - 2 do
+    let a = breaks.(interval) and c = breaks.(interval + 1) in
+    let half = (c -. a) /. 2.0 and mid = (a +. c) /. 2.0 in
+    for q = 0 to 2 do
+      let x = mid +. (half *. nodes.(q)) in
+      let w = weights.(q) *. half in
+      let d2 = Array.init n (fun i -> b.deriv2 i x) in
+      for i = 0 to n - 1 do
+        if d2.(i) <> 0.0 then
+          for j = i to n - 1 do
+            Mat.set omega i j (Mat.get omega i j +. (w *. d2.(i) *. d2.(j)))
+          done
+      done
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      Mat.set omega i j (Mat.get omega j i)
+    done
+  done;
+  omega
+
+let gram (b : Basis.t) grid =
+  let w = Integrate.trapezoid_weights grid in
+  let design = Basis.design b grid in
+  let n = b.size in
+  let g = Mat.zeros n n in
+  for m = 0 to Array.length grid - 1 do
+    for i = 0 to n - 1 do
+      let di = Mat.get design m i in
+      if di <> 0.0 then
+        for j = i to n - 1 do
+          Mat.set g i j (Mat.get g i j +. (w.(m) *. di *. Mat.get design m j))
+        done
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      Mat.set g i j (Mat.get g j i)
+    done
+  done;
+  g

@@ -1,0 +1,115 @@
+open Numerics
+
+type trajectory = {
+  times : Vec.t;
+  states : int array array;
+}
+
+let direct ?(max_events = 1_000_000) network ~rng ~x0 ~t0 ~t1 =
+  assert (t1 > t0);
+  assert (Array.length x0 = Reaction_network.num_species network);
+  let state = Array.copy x0 in
+  let times = ref [ t0 ] in
+  let states = ref [ Array.copy state ] in
+  let t = ref t0 in
+  let events = ref 0 in
+  let running = ref true in
+  while !running && !events < max_events do
+    let total = Reaction_network.total_propensity network state in
+    if total <= 0.0 then running := false
+    else begin
+      let dt = Rng.exponential rng ~rate:total in
+      if !t +. dt >= t1 then running := false
+      else begin
+        t := !t +. dt;
+        (* Select the firing channel proportionally to its propensity. *)
+        let target = Rng.float rng *. total in
+        let acc = ref 0.0 in
+        let chosen = ref None in
+        Array.iter
+          (fun r ->
+            if !chosen = None then begin
+              acc := !acc +. Reaction_network.propensity r state;
+              if !acc >= target then chosen := Some r
+            end)
+          network.Reaction_network.reactions;
+        (match !chosen with
+        | Some r -> Reaction_network.apply r state
+        | None ->
+          (* Round-off corner: fire the last reaction with positive propensity. *)
+          let last = ref None in
+          Array.iter
+            (fun r -> if Reaction_network.propensity r state > 0.0 then last := Some r)
+            network.Reaction_network.reactions;
+          Option.iter (fun r -> Reaction_network.apply r state) !last);
+        times := !t :: !times;
+        states := Array.copy state :: !states;
+        incr events
+      end
+    end
+  done;
+  times := t1 :: !times;
+  states := Array.copy state :: !states;
+  { times = Vec.of_list (List.rev !times); states = Array.of_list (List.rev !states) }
+
+let tau_leap network ~rng ~x0 ~t0 ~t1 ~tau =
+  assert (tau > 0.0 && t1 > t0);
+  let state = Array.copy x0 in
+  let n_steps = int_of_float (Float.ceil ((t1 -. t0) /. tau)) in
+  let times = Array.make (n_steps + 1) t0 in
+  let states = Array.make (n_steps + 1) (Array.copy state) in
+  let deltas =
+    Array.map (Reaction_network.net_change network) network.Reaction_network.reactions
+  in
+  for step = 1 to n_steps do
+    let t = Float.min t1 (t0 +. (tau *. float_of_int step)) in
+    let dt = t -. times.(step - 1) in
+    let firings =
+      Array.map
+        (fun r ->
+          let a = Reaction_network.propensity r state in
+          if a <= 0.0 then 0 else Rng.poisson rng ~lambda:(a *. dt))
+        network.Reaction_network.reactions
+    in
+    Array.iteri
+      (fun ri count ->
+        if count > 0 then
+          Array.iteri
+            (fun si d -> state.(si) <- Stdlib.max 0 (state.(si) + (d * count)))
+            deltas.(ri))
+      firings;
+    times.(step) <- t;
+    states.(step) <- Array.copy state
+  done;
+  { times; states }
+
+let value_at trajectory ~species t =
+  let n = Array.length trajectory.times in
+  if t <= trajectory.times.(0) then float_of_int trajectory.states.(0).(species)
+  else if t >= trajectory.times.(n - 1) then float_of_int trajectory.states.(n - 1).(species)
+  else begin
+    let i = Interp.bracket trajectory.times t in
+    float_of_int trajectory.states.(i).(species)
+  end
+
+let sample trajectory ~times =
+  let n_species = Array.length trajectory.states.(0) in
+  Mat.init (Array.length times) n_species (fun m s -> value_at trajectory ~species:s times.(m))
+
+let mean_trajectory ?(runs = 100) network ~rng ~x0 ~times =
+  assert (runs > 0);
+  let n_t = Array.length times in
+  let n_s = Reaction_network.num_species network in
+  let acc = Mat.zeros n_t n_s in
+  for _ = 1 to runs do
+    let trajectory =
+      direct network ~rng:(Rng.split rng) ~x0 ~t0:times.(0) ~t1:(times.(n_t - 1) +. 1e-9)
+    in
+    let sampled = sample trajectory ~times in
+    for i = 0 to n_t - 1 do
+      for j = 0 to n_s - 1 do
+        Mat.set acc i j (Mat.get acc i j +. Mat.get sampled i j)
+      done
+    done
+  done;
+  Mat.scale (1.0 /. float_of_int runs) acc

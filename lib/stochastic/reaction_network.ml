@@ -1,0 +1,78 @@
+type reaction = {
+  reactants : (int * int) list;
+  products : (int * int) list;
+  rate : float;
+}
+
+type t = {
+  species : string array;
+  reactions : reaction array;
+}
+
+let create ~species ~reactions =
+  let species = Array.of_list species in
+  let n = Array.length species in
+  assert (n > 0);
+  List.iter
+    (fun r ->
+      assert (r.rate >= 0.0);
+      List.iter
+        (fun (idx, stoich) ->
+          assert (idx >= 0 && idx < n);
+          assert (stoich > 0))
+        (r.reactants @ r.products))
+    reactions;
+  { species; reactions = Array.of_list reactions }
+
+let num_species t = Array.length t.species
+
+(* Falling-factorial combinatorial count: x choose-ordered stoich. *)
+let falling x stoich =
+  let rec go acc x k = if k = 0 then acc else go (acc *. float_of_int x) (x - 1) (k - 1) in
+  if x < stoich then 0.0 else go 1.0 x stoich
+
+let rec factorial = function 0 | 1 -> 1 | n -> n * factorial (n - 1)
+
+(* Propensity uses the combinatorial count of distinct reactant tuples:
+   C(x, s) per species with stoichiometry s. *)
+let propensity r state =
+  List.fold_left
+    (fun acc (idx, stoich) ->
+      acc *. falling state.(idx) stoich /. float_of_int (factorial stoich))
+    r.rate r.reactants
+
+let total_propensity t state =
+  Array.fold_left (fun acc r -> acc +. propensity r state) 0.0 t.reactions
+
+let apply r state =
+  List.iter (fun (idx, stoich) -> state.(idx) <- state.(idx) - stoich) r.reactants;
+  List.iter (fun (idx, stoich) -> state.(idx) <- state.(idx) + stoich) r.products;
+  Array.iter (fun x -> assert (x >= 0)) state
+
+let net_change t r =
+  let delta = Array.make (num_species t) 0 in
+  List.iter (fun (idx, stoich) -> delta.(idx) <- delta.(idx) - stoich) r.reactants;
+  List.iter (fun (idx, stoich) -> delta.(idx) <- delta.(idx) + stoich) r.products;
+  delta
+
+let deterministic_rhs t ~volume : Numerics.Ode.system =
+  assert (volume > 0.0);
+  let deltas = Array.map (net_change t) t.reactions in
+  fun _t concentrations ->
+    let dydt = Array.make (num_species t) 0.0 in
+    Array.iteri
+      (fun ri r ->
+        (* Concentration-space mass-action flux: rate × Π c_i^stoich, with
+           the stochastic bimolecular 1/volume factors already folded into
+           the concentration form. *)
+        let order = List.fold_left (fun acc (_, s) -> acc + s) 0 r.reactants in
+        let scale = volume ** float_of_int (order - 1) in
+        let flux =
+          List.fold_left
+            (fun acc (idx, stoich) ->
+              acc *. (Float.max 0.0 concentrations.(idx) ** float_of_int stoich))
+            (r.rate *. scale) r.reactants
+        in
+        Array.iteri (fun si d -> dydt.(si) <- dydt.(si) +. (float_of_int d *. flux)) deltas.(ri))
+      t.reactions;
+    dydt

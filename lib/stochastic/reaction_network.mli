@@ -1,0 +1,37 @@
+(** Mass-action chemical reaction networks — the substrate for exact
+    stochastic simulation of single-cell kinetics (the intrinsic noise that
+    the paper's asynchronous variability is defined *against*, §1). *)
+
+type reaction = {
+  reactants : (int * int) list;  (** (species index, stoichiometry) *)
+  products : (int * int) list;
+  rate : float;  (** stochastic rate constant *)
+}
+
+type t = {
+  species : string array;
+  reactions : reaction array;
+}
+
+val create : species:string list -> reactions:reaction list -> t
+(** Validates species indices and non-negative rates. *)
+
+val num_species : t -> int
+
+val propensity : reaction -> int array -> float
+(** Mass-action propensity: rate × Π binomial-style falling factorials
+    (x·(x−1)/2 for a homodimer reactant, etc.). *)
+
+val total_propensity : t -> int array -> float
+
+val apply : reaction -> int array -> unit
+(** Fire the reaction once, updating copy numbers in place; asserts that
+    no count goes negative. *)
+
+val net_change : t -> reaction -> int array
+(** Stoichiometric change vector of one firing. *)
+
+val deterministic_rhs : t -> volume:float -> Numerics.Ode.system
+(** The mean-field ODE limit: concentrations c = x/volume with mass-action
+    rates (bimolecular propensities scale as 1/volume). Used to check SSA
+    means against the corresponding ODE model. *)

@@ -1,0 +1,86 @@
+open Numerics
+open Testutil
+
+let boundaries = Cellpop.Celltype.mid_boundaries
+
+let test_judd_embedded () =
+  let obs = Cellpop.Calibrate.judd in
+  Alcotest.(check int) "six times" 6 (Array.length obs.Cellpop.Calibrate.times);
+  Alcotest.(check (pair int int)) "fraction dims" (6, 4) (Mat.dims obs.Cellpop.Calibrate.fractions);
+  for i = 0 to 5 do
+    check_close ~tol:1e-9 "rows sum to 1" 1.0 (Vec.sum (Mat.row obs.Cellpop.Calibrate.fractions i))
+  done
+
+let test_objective_zero_at_truth_like () =
+  (* The objective at the generating parameters (same seed, same n) is 0. *)
+  let truth = { Cellpop.Params.paper_2011 with Cellpop.Params.mean_cycle_minutes = 170.0 } in
+  let times = [| 60.0; 100.0; 140.0 |] in
+  let snapshots = Cellpop.Population.simulate truth ~rng:(Rng.create 7) ~n0:1000 ~times in
+  let obs =
+    { Cellpop.Calibrate.times;
+      fractions = Cellpop.Celltype.fractions_over_time boundaries snapshots }
+  in
+  check_close ~tol:1e-12 "self objective zero" 0.0
+    (Cellpop.Calibrate.objective ~base:truth ~boundaries ~n_cells:1000 ~seed:7 obs truth)
+
+let test_objective_increases_with_mismatch () =
+  let truth = Cellpop.Params.paper_2011 in
+  let times = [| 60.0; 100.0; 140.0 |] in
+  let snapshots = Cellpop.Population.simulate truth ~rng:(Rng.create 7) ~n0:2000 ~times in
+  let obs =
+    { Cellpop.Calibrate.times;
+      fractions = Cellpop.Celltype.fractions_over_time boundaries snapshots }
+  in
+  let score p = Cellpop.Calibrate.objective ~base:truth ~boundaries ~n_cells:2000 ~seed:7 obs p in
+  let near = score truth in
+  let far = score { truth with Cellpop.Params.mean_cycle_minutes = 250.0 } in
+  check_true "mismatch penalized" (far > (10.0 *. near) +. 1e-4)
+
+let test_self_consistency_fit () =
+  (* Generate a fraction time course from known parameters with a different
+     seed and cell count than the fitter uses, then recover them. *)
+  let truth =
+    { Cellpop.Params.paper_2011 with
+      Cellpop.Params.mean_cycle_minutes = 180.0;
+      cv_cycle = 0.18;
+    }
+  in
+  let times = [| 75.0; 90.0; 105.0; 120.0; 135.0; 150.0 |] in
+  let snapshots = Cellpop.Population.simulate truth ~rng:(Rng.create 99) ~n0:10_000 ~times in
+  let obs =
+    { Cellpop.Calibrate.times;
+      fractions = Cellpop.Celltype.fractions_over_time boundaries snapshots }
+  in
+  let fitted =
+    Cellpop.Calibrate.fit ~n_cells:3000 ~base:Cellpop.Params.paper_2011 ~boundaries obs
+  in
+  check_close ~tol:0.03 "mu_sst recovered" 0.15 fitted.Cellpop.Calibrate.params.Cellpop.Params.mu_sst;
+  check_rel ~tol:0.06 "cycle time recovered" 180.0
+    fitted.Cellpop.Calibrate.params.Cellpop.Params.mean_cycle_minutes;
+  check_close ~tol:0.06 "cv recovered" 0.18 fitted.Cellpop.Calibrate.params.Cellpop.Params.cv_cycle;
+  check_true "objective small" (fitted.Cellpop.Calibrate.objective_value < 1e-3)
+
+let test_judd_fit_plausible () =
+  let fitted =
+    Cellpop.Calibrate.fit ~n_cells:3000 ~max_iter:120 ~base:Cellpop.Params.paper_2011
+      ~boundaries Cellpop.Calibrate.judd
+  in
+  let p = fitted.Cellpop.Calibrate.params in
+  (* Minimal-medium Caulobacter grows slowly: cycle in the 2.5-4 hour range. *)
+  check_true "cycle time plausible"
+    (p.Cellpop.Params.mean_cycle_minutes > 150.0 && p.Cellpop.Params.mean_cycle_minutes < 260.0);
+  check_true "transition phase in range"
+    (p.Cellpop.Params.mu_sst > 0.05 && p.Cellpop.Params.mu_sst < 0.45);
+  check_true "fits the data decently" (fitted.Cellpop.Calibrate.objective_value < 0.01)
+
+let tests =
+  [
+    ( "calibrate",
+      [
+        case "judd observation embedded" test_judd_embedded;
+        case "objective zero at truth" test_objective_zero_at_truth_like;
+        case "objective penalizes mismatch" test_objective_increases_with_mismatch;
+        case "self-consistency fit" test_self_consistency_fit;
+        case "judd fit plausible" test_judd_fit_plausible;
+      ] );
+  ]

@@ -1,0 +1,114 @@
+open Numerics
+open Testutil
+
+let test_next_pow2 () =
+  Alcotest.(check int) "1" 1 (Fft.next_pow2 1);
+  Alcotest.(check int) "5 -> 8" 8 (Fft.next_pow2 5);
+  Alcotest.(check int) "8 -> 8" 8 (Fft.next_pow2 8);
+  Alcotest.(check int) "1000 -> 1024" 1024 (Fft.next_pow2 1000)
+
+let test_fft_ifft_roundtrip () =
+  let rng = Rng.create 808 in
+  let input = Array.init 64 (fun _ -> { Complex.re = Rng.uniform rng ~lo:(-1.0) ~hi:1.0;
+                                        im = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 }) in
+  let back = Fft.ifft (Fft.fft input) in
+  Array.iteri
+    (fun i c ->
+      check_close ~tol:1e-10 "roundtrip re" input.(i).Complex.re c.Complex.re;
+      check_close ~tol:1e-10 "roundtrip im" input.(i).Complex.im c.Complex.im)
+    back
+
+let test_fft_impulse () =
+  (* FFT of a delta is all ones. *)
+  let input = Array.init 16 (fun i -> if i = 0 then Complex.one else Complex.zero) in
+  let out = Fft.fft input in
+  Array.iter
+    (fun c ->
+      check_close ~tol:1e-12 "flat re" 1.0 c.Complex.re;
+      check_close ~tol:1e-12 "flat im" 0.0 c.Complex.im)
+    out
+
+let test_fft_pure_tone () =
+  (* e^{+2πi·3t/n} puts all energy in bin 3 under the e^{-2πi} forward
+     convention. *)
+  let n = 32 in
+  let input =
+    Array.init n (fun i ->
+        Complex.polar 1.0 (2.0 *. Float.pi *. 3.0 *. float_of_int i /. float_of_int n))
+  in
+  let out = Fft.fft input in
+  check_close ~tol:1e-9 "energy at bin 3" (float_of_int n) (Complex.norm out.(3));
+  check_close ~tol:1e-9 "no energy at bin 5" 0.0 (Complex.norm out.(5))
+
+let test_parseval () =
+  let rng = Rng.create 809 in
+  let signal = Array.init 128 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let spectrum = Fft.rfft signal in
+  let time_energy = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 signal in
+  let freq_energy =
+    Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 spectrum /. 128.0
+  in
+  check_rel ~tol:1e-10 "parseval" time_energy freq_energy
+
+let test_dominant_period () =
+  let signal = Array.init 256 (fun i -> Float.sin (2.0 *. Float.pi *. float_of_int i /. 32.0)) in
+  check_close ~tol:1e-9 "period 32 samples" 32.0 (Fft.dominant_period signal);
+  check_close ~tol:1e-9 "with dt" 64.0 (Fft.dominant_period ~dt:2.0 signal)
+
+let test_dominant_period_offset_signal () =
+  (* The DC offset must not win. *)
+  let signal =
+    Array.init 128 (fun i -> 100.0 +. Float.sin (2.0 *. Float.pi *. float_of_int i /. 16.0))
+  in
+  check_close ~tol:1e-9 "offset removed" 16.0 (Fft.dominant_period signal)
+
+let test_convolve_known () =
+  let c = Fft.convolve [| 1.0; 2.0; 3.0 |] [| 1.0; 1.0 |] in
+  check_vec ~tol:1e-10 "conv" [| 1.0; 3.0; 5.0; 3.0 |] c
+
+let test_convolve_identity () =
+  let x = [| 4.0; -1.0; 2.5; 0.0; 3.0 |] in
+  check_vec ~tol:1e-10 "delta identity" x (Fft.convolve x [| 1.0 |])
+
+let test_convolve_matches_direct () =
+  let rng = Rng.create 810 in
+  let a = Array.init 17 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let b = Array.init 9 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let direct =
+    Array.init (17 + 9 - 1) (fun k ->
+        let acc = ref 0.0 in
+        for i = 0 to 16 do
+          let j = k - i in
+          if j >= 0 && j < 9 then acc := !acc +. (a.(i) *. b.(j))
+        done;
+        !acc)
+  in
+  check_vec ~tol:1e-9 "fft conv = direct conv" direct (Fft.convolve a b)
+
+let test_lv_period_via_fft () =
+  (* Cross-module check: the LV oscillator's period from its periodogram. *)
+  let p = Biomodels.Lotka_volterra.default_params in
+  let times = Vec.linspace 0.0 1200.0 1024 in
+  let sol = Biomodels.Lotka_volterra.simulate p ~x0:Biomodels.Lotka_volterra.default_x0 ~times in
+  let x1 = Mat.col sol.Ode.states 0 in
+  let dt = times.(1) -. times.(0) in
+  let period = Fft.dominant_period ~dt x1 in
+  check_true "fft period near 150" (Float.abs (period -. 150.0) < 8.0)
+
+let tests =
+  [
+    ( "fft",
+      [
+        case "next_pow2" test_next_pow2;
+        case "fft/ifft roundtrip" test_fft_ifft_roundtrip;
+        case "impulse" test_fft_impulse;
+        case "pure tone" test_fft_pure_tone;
+        case "parseval" test_parseval;
+        case "dominant period" test_dominant_period;
+        case "dominant period with offset" test_dominant_period_offset_signal;
+        case "convolution known" test_convolve_known;
+        case "convolution identity" test_convolve_identity;
+        case "convolution matches direct" test_convolve_matches_direct;
+        case "LV period via periodogram" test_lv_period_via_fft;
+      ] );
+  ]

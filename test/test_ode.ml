@@ -1,0 +1,110 @@
+open Numerics
+open Testutil
+
+(* dy/dt = -y, y(0) = 1: y(t) = exp(-t). *)
+let decay : Ode.system = fun _t y -> [| -.y.(0) |]
+
+(* Harmonic oscillator: y'' = -y as a 2D system; y(t) = cos t. *)
+let harmonic : Ode.system = fun _t y -> [| y.(1); -.y.(0) |]
+
+let final (sol : Ode.solution) component =
+  Mat.get sol.Ode.states (Array.length sol.Ode.times - 1) component
+
+let test_euler_first_order () =
+  let err steps =
+    let sol = Ode.euler decay ~y0:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~steps in
+    Float.abs (final sol 0 -. Float.exp (-1.0))
+  in
+  check_true "euler converges at order 1" (err 200 < err 100 /. 1.8 && err 100 < 0.01)
+
+let test_midpoint_second_order () =
+  let err steps =
+    let sol = Ode.midpoint decay ~y0:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~steps in
+    Float.abs (final sol 0 -. Float.exp (-1.0))
+  in
+  check_true "midpoint converges at order 2" (err 200 < err 100 /. 3.5)
+
+let test_rk4_fourth_order () =
+  let err steps =
+    let sol = Ode.rk4 decay ~y0:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~steps in
+    Float.abs (final sol 0 -. Float.exp (-1.0))
+  in
+  check_true "rk4 order 4" (err 80 < err 40 /. 12.0);
+  check_true "rk4 accurate" (err 100 < 1e-10)
+
+let test_rk4_harmonic () =
+  let sol = Ode.rk4 harmonic ~y0:[| 1.0; 0.0 |] ~t0:0.0 ~t1:(2.0 *. Float.pi) ~steps:2000 in
+  check_close ~tol:1e-8 "cos after full period" 1.0 (final sol 0);
+  check_close ~tol:1e-8 "sin after full period" 0.0 (final sol 1)
+
+let test_solution_shape () =
+  let sol = Ode.rk4 decay ~y0:[| 1.0 |] ~t0:0.0 ~t1:2.0 ~steps:10 in
+  Alcotest.(check int) "11 time points" 11 (Array.length sol.Ode.times);
+  check_close "initial time" 0.0 sol.Ode.times.(0);
+  check_close "final time" 2.0 sol.Ode.times.(10);
+  check_close "initial state kept" 1.0 (Mat.get sol.Ode.states 0 0)
+
+let test_rk45_accuracy () =
+  let times = Vec.linspace 0.0 5.0 11 in
+  let sol = Ode.rk45 ~rtol:1e-10 ~atol:1e-12 decay ~y0:[| 1.0 |] ~times in
+  Array.iteri
+    (fun i t ->
+      check_close ~tol:1e-8
+        (Printf.sprintf "exp(-t) at t=%g" t)
+        (Float.exp (-.t))
+        (Mat.get sol.Ode.states i 0))
+    times
+
+let test_rk45_dense_output () =
+  (* Output times denser than the natural step size still interpolate well. *)
+  let times = Vec.linspace 0.0 (2.0 *. Float.pi) 101 in
+  let sol = Ode.rk45 ~rtol:1e-9 harmonic ~y0:[| 1.0; 0.0 |] ~times in
+  Array.iteri
+    (fun i t ->
+      check_close ~tol:1e-6 "dense cos" (Float.cos t) (Mat.get sol.Ode.states i 0))
+    times
+
+let test_rk45_nonautonomous () =
+  (* y' = t, y(0) = 0 -> y = t^2/2. *)
+  let sys : Ode.system = fun t _y -> [| t |] in
+  let times = [| 0.0; 1.0; 3.0 |] in
+  let sol = Ode.rk45 sys ~y0:[| 0.0 |] ~times in
+  check_close ~tol:1e-8 "t^2/2 at 3" 4.5 (Mat.get sol.Ode.states 2 0)
+
+let test_lv_conservation () =
+  (* The LV first integral is conserved along rk45 trajectories. *)
+  let p = Biomodels.Lotka_volterra.default_params in
+  let x0 = Biomodels.Lotka_volterra.default_x0 in
+  let times = Vec.linspace 0.0 300.0 61 in
+  let sol = Biomodels.Lotka_volterra.simulate p ~x0 ~times in
+  let v0 = Biomodels.Lotka_volterra.conserved p x0 in
+  Array.iteri
+    (fun i _t ->
+      let y = Mat.row sol.Ode.states i in
+      check_rel ~tol:1e-6 "LV invariant" v0 (Biomodels.Lotka_volterra.conserved p y))
+    times
+
+let test_solve_at () =
+  let sol = Ode.rk4 decay ~y0:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~steps:100 in
+  let y = Ode.solve_at sol 0.505 in
+  check_close ~tol:1e-4 "interpolated value" (Float.exp (-0.505)) y.(0);
+  (* Clamped outside the range. *)
+  check_close "clamp left" 1.0 (Ode.solve_at sol (-1.0)).(0);
+  check_close ~tol:1e-9 "clamp right" (final sol 0) (Ode.solve_at sol 99.0).(0)
+
+let tests =
+  [
+    ( "ode",
+      [
+        case "euler order" test_euler_first_order;
+        case "midpoint order" test_midpoint_second_order;
+        case "rk4 order and accuracy" test_rk4_fourth_order;
+        case "rk4 harmonic oscillator" test_rk4_harmonic;
+        case "solution shape" test_solution_shape;
+        case "rk45 accuracy on decay" test_rk45_accuracy;
+        case "rk45 dense output" test_rk45_dense_output;
+        case "rk45 nonautonomous" test_rk45_nonautonomous;
+        case "rk45 conserves LV invariant" test_lv_conservation;
+        case "solve_at interpolation" test_solve_at;
+      ] );
+  ]

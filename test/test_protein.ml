@@ -1,0 +1,74 @@
+open Numerics
+open Testutil
+
+let phases = Array.init 200 (fun i -> (float_of_int i +. 0.5) /. 200.0)
+
+let test_constant_mrna_equilibrium () =
+  (* Constant source: p* = k_tl m / k_deg everywhere. *)
+  let k = { Biomodels.Protein.translation = 0.2; degradation = 0.05 } in
+  let p = Biomodels.Protein.steady_profile k ~period:150.0 ~mrna:(fun _ -> 3.0) ~phases in
+  Array.iter (fun v -> check_rel ~tol:1e-4 "equilibrium level" (0.2 *. 3.0 /. 0.05) v) p
+
+let test_periodicity () =
+  let k = { Biomodels.Protein.translation = 0.1; degradation = 0.02 } in
+  let mrna phi = 1.0 +. Float.max 0.0 (Float.sin (2.0 *. Float.pi *. phi)) in
+  let endpoints = [| 1e-6; 1.0 -. 1e-6 |] in
+  let p = Biomodels.Protein.steady_profile k ~period:150.0 ~mrna ~phases:endpoints in
+  check_rel ~tol:1e-3 "p(0) = p(1)" p.(0) p.(1)
+
+let test_ode_residual () =
+  (* The returned profile satisfies dp/dphi = T(k_tl m - k_deg p). *)
+  let k = { Biomodels.Protein.translation = 0.15; degradation = 0.03 } in
+  let period = 150.0 in
+  let mrna phi = 2.0 +. Float.cos (2.0 *. Float.pi *. phi) in
+  let eval phi_array = Biomodels.Protein.steady_profile k ~period ~mrna ~phases:phi_array in
+  List.iter
+    (fun phi ->
+      (* h must straddle several panels of the 2048-point cumulative grid. *)
+      let h = 5e-3 in
+      let values = eval [| phi -. h; phi; phi +. h |] in
+      let derivative = (values.(2) -. values.(0)) /. (2.0 *. h) in
+      let expected = period *. ((k.Biomodels.Protein.translation *. mrna phi) -. (k.Biomodels.Protein.degradation *. values.(1))) in
+      check_rel ~tol:2e-2 (Printf.sprintf "ODE residual at %g" phi) expected derivative)
+    [ 0.2; 0.5; 0.8 ]
+
+let test_protein_lags_mrna () =
+  (* A pulsed transcript yields a protein peak strictly later in phase. *)
+  let k = { Biomodels.Protein.translation = 0.1; degradation = 0.04 } in
+  let mrna = Biomodels.Gene_profile.gaussian_pulse ~center:0.4 ~width:0.08 ~height:5.0 () in
+  let p = Biomodels.Protein.steady_profile k ~period:150.0 ~mrna ~phases in
+  let protein_peak = phases.(Vec.argmax p) in
+  let lag = Biomodels.Protein.phase_lag ~mrna_peak:0.4 ~protein_peak in
+  check_true "protein peaks after mRNA" (lag > 0.01 && lag < 0.45)
+
+let test_lag_shrinks_with_fast_degradation () =
+  (* Faster turnover tracks the transcript more tightly. *)
+  let mrna = Biomodels.Gene_profile.gaussian_pulse ~center:0.4 ~width:0.08 ~height:5.0 () in
+  let lag_for degradation =
+    let k = { Biomodels.Protein.translation = 0.1; degradation } in
+    let p = Biomodels.Protein.steady_profile k ~period:150.0 ~mrna ~phases in
+    Biomodels.Protein.phase_lag ~mrna_peak:0.4 ~protein_peak:phases.(Vec.argmax p)
+  in
+  check_true "fast turnover, small lag" (lag_for 0.2 < lag_for 0.02)
+
+let test_nonnegative () =
+  let k = { Biomodels.Protein.translation = 0.05; degradation = 0.01 } in
+  let p = Biomodels.Protein.steady_profile k ~period:150.0 ~mrna:Biomodels.Ftsz.profile ~phases in
+  Array.iter (fun v -> check_true "nonnegative protein" (v >= 0.0)) p
+
+let test_phase_lag_wraps () =
+  check_close ~tol:1e-12 "wrapping" 0.3 (Biomodels.Protein.phase_lag ~mrna_peak:0.9 ~protein_peak:0.2)
+
+let tests =
+  [
+    ( "protein",
+      [
+        case "constant mRNA equilibrium" test_constant_mrna_equilibrium;
+        case "periodic steady state" test_periodicity;
+        case "satisfies the ODE" test_ode_residual;
+        case "protein lags mRNA" test_protein_lags_mrna;
+        case "lag shrinks with degradation" test_lag_shrinks_with_fast_degradation;
+        case "nonnegative" test_nonnegative;
+        case "phase lag wraps" test_phase_lag_wraps;
+      ] );
+  ]

@@ -1,0 +1,66 @@
+open Numerics
+open Testutil
+
+let test_bisect_cos () =
+  let root = Rootfind.bisect Float.cos ~a:0.0 ~b:3.0 in
+  check_close ~tol:1e-10 "cos root" (Float.pi /. 2.0) root
+
+let test_brent_cos () =
+  let root = Rootfind.brent Float.cos ~a:0.0 ~b:3.0 in
+  check_close ~tol:1e-10 "cos root" (Float.pi /. 2.0) root
+
+let test_brent_polynomial () =
+  let f x = (x *. x *. x) -. (2.0 *. x) -. 5.0 in
+  let root = Rootfind.brent f ~a:2.0 ~b:3.0 in
+  check_close ~tol:1e-9 "wilkinson example" 2.0945514815 root
+
+let test_endpoint_roots () =
+  let f x = x -. 1.0 in
+  check_close "root at a" 1.0 (Rootfind.bisect f ~a:1.0 ~b:2.0);
+  check_close "root at b" 1.0 (Rootfind.brent f ~a:0.0 ~b:1.0)
+
+let test_no_bracket () =
+  Alcotest.check_raises "same sign raises" Rootfind.No_bracket (fun () ->
+      ignore (Rootfind.bisect (fun x -> (x *. x) +. 1.0) ~a:(-1.0) ~b:1.0));
+  Alcotest.check_raises "brent same sign" Rootfind.No_bracket (fun () ->
+      ignore (Rootfind.brent (fun x -> (x *. x) +. 1.0) ~a:(-1.0) ~b:1.0))
+
+let test_find_bracket () =
+  let f x = x -. 5.0 in
+  (match Rootfind.find_bracket f ~x0:0.0 ~step:1.0 ~max_expand:10 with
+  | Some (a, b) ->
+    check_true "bracket straddles root" (f a *. f b <= 0.0);
+    check_true "root inside" (a <= 5.0 && 5.0 <= b)
+  | None -> Alcotest.fail "bracket should exist");
+  (match Rootfind.find_bracket (fun x -> (x *. x) +. 1.0) ~x0:0.0 ~step:1.0 ~max_expand:5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no bracket exists for positive function")
+
+let test_brent_flat_function () =
+  (* Nearly flat near the root: still converges. *)
+  let f x = (x -. 2.0) ** 3.0 in
+  let root = Rootfind.brent f ~a:0.0 ~b:5.0 in
+  check_close ~tol:1e-4 "cubic tangent root" 2.0 root
+
+let prop_brent_finds_linear_roots =
+  qcheck ~count:100 "brent on random lines"
+    QCheck2.Gen.(pair (float_range 0.5 5.0) (float_range (-3.0) 3.0))
+    (fun (slope, root) ->
+      let f x = slope *. (x -. root) in
+      let found = Rootfind.brent f ~a:(root -. 10.0) ~b:(root +. 10.0) in
+      Float.abs (found -. root) < 1e-8)
+
+let tests =
+  [
+    ( "rootfind",
+      [
+        case "bisect cos" test_bisect_cos;
+        case "brent cos" test_brent_cos;
+        case "brent cubic" test_brent_polynomial;
+        case "roots at endpoints" test_endpoint_roots;
+        case "no bracket raises" test_no_bracket;
+        case "find_bracket" test_find_bracket;
+        case "brent on flat function" test_brent_flat_function;
+        prop_brent_finds_linear_roots;
+      ] );
+  ]

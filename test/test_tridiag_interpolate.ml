@@ -1,0 +1,134 @@
+open Numerics
+open Testutil
+
+let test_tridiag_known () =
+  let x = Tridiag.solve ~lower:[| 1.0; 1.0 |] ~diag:[| 2.0; 2.0; 2.0 |] ~upper:[| 1.0; 1.0 |]
+      ~rhs:[| 4.0; 8.0; 8.0 |]
+  in
+  check_vec ~tol:1e-12 "known 3x3" [| 1.0; 2.0; 3.0 |] x
+
+let test_tridiag_vs_dense () =
+  let rng = Rng.create 909 in
+  for n = 2 to 10 do
+    let diag = Array.init n (fun _ -> 4.0 +. Rng.float rng) in
+    let lower = Array.init (n - 1) (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    let upper = Array.init (n - 1) (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    let rhs = Array.init n (fun _ -> Rng.uniform rng ~lo:(-3.0) ~hi:3.0) in
+    let dense =
+      Mat.init n n (fun i j ->
+          if i = j then diag.(i)
+          else if i = j + 1 then lower.(j)
+          else if j = i + 1 then upper.(i)
+          else 0.0)
+    in
+    let expected = Linalg.solve dense rhs in
+    check_vec ~tol:1e-9 (Printf.sprintf "matches dense n=%d" n) expected
+      (Tridiag.solve ~lower ~diag ~upper ~rhs)
+  done
+
+let test_tridiag_size_one () =
+  check_vec ~tol:1e-12 "1x1" [| 2.5 |] (Tridiag.solve ~lower:[||] ~diag:[| 2.0 |] ~upper:[||] ~rhs:[| 5.0 |])
+
+let test_cyclic_vs_dense () =
+  let rng = Rng.create 911 in
+  for n = 3 to 8 do
+    let diag = Array.init n (fun _ -> 5.0 +. Rng.float rng) in
+    let lower = Array.init (n - 1) (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    let upper = Array.init (n - 1) (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    let alpha = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+    let beta = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+    let rhs = Array.init n (fun _ -> Rng.uniform rng ~lo:(-3.0) ~hi:3.0) in
+    let dense =
+      Mat.init n n (fun i j ->
+          if i = j then diag.(i)
+          else if i = j + 1 then lower.(j)
+          else if j = i + 1 then upper.(i)
+          else if i = 0 && j = n - 1 then alpha
+          else if i = n - 1 && j = 0 then beta
+          else 0.0)
+    in
+    let expected = Linalg.solve dense rhs in
+    check_vec ~tol:1e-8 (Printf.sprintf "cyclic matches dense n=%d" n) expected
+      (Tridiag.solve_cyclic ~lower ~diag ~upper ~corner:(alpha, beta) ~rhs)
+  done
+
+let test_interpolation_hits_knots () =
+  let x = [| 0.0; 0.7; 1.5; 2.0; 3.1 |] in
+  let y = [| 1.0; -0.5; 2.0; 0.0; 1.7 |] in
+  let sp = Spline.Interpolate.natural ~x ~y in
+  Array.iteri
+    (fun i xi -> check_close ~tol:1e-12 "interpolates" y.(i) (Spline.Interpolate.eval sp xi))
+    x
+
+let test_interpolation_accuracy () =
+  let x = Vec.linspace 0.0 Float.pi 25 in
+  let y = Array.map Float.sin x in
+  let sp = Spline.Interpolate.natural ~x ~y in
+  for i = 0 to 100 do
+    let v = Float.pi *. float_of_int i /. 100.0 in
+    check_close ~tol:2e-4 "sin interpolation" (Float.sin v) (Spline.Interpolate.eval sp v)
+  done
+
+let test_natural_boundary () =
+  let x = Vec.linspace 0.0 1.0 9 in
+  let y = Array.map (fun v -> exp v) x in
+  let sp = Spline.Interpolate.natural ~x ~y in
+  check_close ~tol:1e-10 "f'' zero at left" 0.0 (Spline.Interpolate.deriv2 sp 0.0);
+  check_close ~tol:1e-10 "f'' zero at right" 0.0 (Spline.Interpolate.deriv2 sp 1.0)
+
+let test_derivative_consistency () =
+  let x = Vec.linspace 0.0 2.0 15 in
+  let y = Array.map (fun v -> (v *. v) +. Float.cos v) x in
+  let sp = Spline.Interpolate.natural ~x ~y in
+  List.iter
+    (fun v ->
+      let fd = (Spline.Interpolate.eval sp (v +. 1e-6) -. Spline.Interpolate.eval sp (v -. 1e-6)) /. 2e-6 in
+      check_close ~tol:1e-4 "deriv matches fd" fd (Spline.Interpolate.deriv sp v))
+    [ 0.3; 0.77; 1.21; 1.9 ]
+
+let test_clamped_outside () =
+  let sp = Spline.Interpolate.natural ~x:[| 0.0; 1.0; 2.0 |] ~y:[| 3.0; 5.0; 4.0 |] in
+  check_close "left clamp" 3.0 (Spline.Interpolate.eval sp (-1.0));
+  check_close "right clamp" 4.0 (Spline.Interpolate.eval sp 10.0)
+
+let test_two_points_line () =
+  let sp = Spline.Interpolate.natural ~x:[| 0.0; 2.0 |] ~y:[| 1.0; 5.0 |] in
+  check_close ~tol:1e-12 "line midpoint" 3.0 (Spline.Interpolate.eval sp 1.0)
+
+let test_periodic_matches_function () =
+  let n = 33 in
+  let x = Vec.linspace 0.0 1.0 n in
+  let y = Array.map (fun v -> Float.sin (2.0 *. Float.pi *. v)) x in
+  let sp = Spline.Interpolate.periodic ~x ~y in
+  for i = 0 to 100 do
+    let v = float_of_int i /. 100.0 in
+    check_close ~tol:2e-4 "periodic sin" (Float.sin (2.0 *. Float.pi *. v))
+      (Spline.Interpolate.eval sp v)
+  done;
+  (* Derivative continuity across the seam. *)
+  check_close ~tol:1e-3 "seam derivative" (Spline.Interpolate.deriv sp 1e-9)
+    (Spline.Interpolate.deriv sp (1.0 -. 1e-9))
+
+let test_eval_many () =
+  let sp = Spline.Interpolate.natural ~x:[| 0.0; 1.0; 2.0 |] ~y:[| 0.0; 1.0; 0.0 |] in
+  let out = Spline.Interpolate.eval_many sp [| 0.0; 1.0; 2.0 |] in
+  check_vec ~tol:1e-12 "vectorized" [| 0.0; 1.0; 0.0 |] out
+
+let tests =
+  [
+    ( "tridiag-interpolate",
+      [
+        case "tridiag known system" test_tridiag_known;
+        case "tridiag matches dense" test_tridiag_vs_dense;
+        case "tridiag size one" test_tridiag_size_one;
+        case "cyclic matches dense" test_cyclic_vs_dense;
+        case "interpolation hits knots" test_interpolation_hits_knots;
+        case "interpolation accuracy" test_interpolation_accuracy;
+        case "natural boundary conditions" test_natural_boundary;
+        case "derivative consistency" test_derivative_consistency;
+        case "clamped outside" test_clamped_outside;
+        case "two points degenerate to line" test_two_points_line;
+        case "periodic spline" test_periodic_matches_function;
+        case "eval many" test_eval_many;
+      ] );
+  ]
