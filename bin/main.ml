@@ -151,20 +151,13 @@ let kernel_file_arg =
 
 let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons no_rate
     bootstrap kernel_file output =
-  let _, columns = Dataio.Csv.read_columns ~path:input in
   let times, g, sigmas =
-    match columns with
-    | [ t; g ] -> (t, g, None)
-    | [ t; g; s ] -> (t, g, Some s)
-    | _ -> failwith "expected 2 or 3 columns: minutes,g[,sigma]"
+    match Dataio.Datasets.load_measurements ~path:input with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" input (Dataio.Csv.error_to_string e);
+      exit 1
   in
-  (* Accept unsorted CSVs: order all columns by time. *)
-  let order = Array.init (Array.length times) Fun.id in
-  Array.sort (fun a b -> compare times.(a) times.(b)) order;
-  let reorder v = Array.map (fun i -> v.(i)) order in
-  let times = reorder times in
-  let g = reorder g in
-  let sigmas = Option.map reorder sigmas in
   let params = params_of mu_sst cycle linear in
   let rng = Rng.create seed in
   let kernel =
@@ -190,18 +183,37 @@ let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos
     Deconv.Problem.create ~use_positivity:(not no_pos) ~use_conservation:(not no_cons)
       ~use_rate_continuity:(not no_rate) ?sigmas ~kernel ~basis ~measurements:g ~params ()
   in
+  (* Lambda selection, adequacy diagnostics and bootstrap all run on the
+     repaired copy: a single NaN measurement or zero sigma would poison
+     every candidate score and every weighted residual. The original
+     problem goes to solve_robust so its report records the repairs. *)
+  let repaired_problem, _ = Deconv.Solver.repair_problem problem in
   let lambda =
     match lambda with
     | Some l -> l
-    | None -> Deconv.Lambda.select problem ~method_:`Gcv ~rng:(Rng.split rng) ()
+    | None -> (
+      match Deconv.Lambda.select_result repaired_problem ~method_:`Gcv ~rng:(Rng.split rng) () with
+      | Ok l -> l
+      | Error e ->
+        Printf.eprintf "warning: lambda selection failed (%s); using lambda = 1e-4\n"
+          (Robust.Error.to_string e);
+        1e-4)
   in
-  let estimate = Deconv.Solver.solve ~lambda problem in
+  let estimate, robust_report =
+    match Deconv.Solver.solve_robust ~lambda problem with
+    | Ok (estimate, report) -> (estimate, report)
+    | Error e ->
+      Printf.eprintf "error: deconvolution failed: %s\n" (Robust.Error.to_string e);
+      exit 1
+  in
   Printf.printf "lambda = %.4g, weighted misfit = %.4g, roughness = %.4g, active bounds = %d\n"
     lambda estimate.Deconv.Solver.data_misfit estimate.Deconv.Solver.roughness
     estimate.Deconv.Solver.active_positivity;
+  if robust_report.Robust.Report.degradation > 0 || robust_report.Robust.Report.repairs <> []
+  then Printf.printf "robustness: %s\n" (Robust.Report.to_string robust_report);
   (if sigmas <> None then begin
      (* With real per-measurement sigmas the lack-of-fit test is meaningful. *)
-     let report = Deconv.Diagnostics.analyze problem estimate in
+     let report = Deconv.Diagnostics.analyze repaired_problem estimate in
      Printf.printf "model adequacy: %s -> %s\n"
        (Deconv.Diagnostics.to_string report)
        (if Deconv.Diagnostics.adequate report then "OK"
@@ -211,7 +223,7 @@ let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos
   let bands =
     if bootstrap > 0 then begin
       let b =
-        Deconv.Bootstrap.residual ~replicates:bootstrap ~level:0.9 problem estimate
+        Deconv.Bootstrap.residual ~replicates:bootstrap ~level:0.9 repaired_problem estimate
           ~rng:(Rng.split rng)
       in
       Printf.printf "bootstrap (%d replicates): mean 90%% band width %.4g\n" bootstrap
@@ -426,14 +438,23 @@ let calibrate_cmd =
       match input with
       | None -> Cellpop.Calibrate.judd
       | Some path ->
-        let _, columns = Dataio.Csv.read_columns ~path in
+        let _, columns =
+          match Dataio.Csv.read_columns_result ~path with
+          | Ok r -> r
+          | Error e ->
+            Printf.eprintf "error: %s: %s\n" path (Dataio.Csv.error_to_string e);
+            exit 1
+        in
         (match columns with
         | [ t; sw; ste; stepd; stlpd ] ->
           { Cellpop.Calibrate.times = t;
             fractions =
               Mat.init (Array.length t) 4 (fun i j ->
                   match j with 0 -> sw.(i) | 1 -> ste.(i) | 2 -> stepd.(i) | _ -> stlpd.(i)) }
-        | _ -> failwith "expected 5 columns: minutes,SW,STE,STEPD,STLPD")
+        | cols ->
+          Printf.eprintf "error: %s: expected 5 columns (minutes,SW,STE,STEPD,STLPD), found %d\n"
+            path (List.length cols);
+          exit 1)
     in
     let fitted =
       Cellpop.Calibrate.fit ~n_cells:cells ~seed ~base:Cellpop.Params.paper_2011

@@ -11,27 +11,48 @@ let default_grid = lazy (Optimize.Cross_validation.log_lambda_grid ~lo:(-7.0) ~h
    mode at negligible cost in the well-behaved cases. *)
 let robust_gamma = 1.4
 
+let usable_lambda lambda = Float.is_finite lambda && lambda >= 0.0
+
+(* Candidate costs must never let a NaN/Inf win the argmin (NaN compares
+   false against everything, so a NaN first candidate would otherwise stick
+   as "best"): non-finite scores, non-finite lambda points and candidates
+   whose fit blows up are all mapped to +inf, which loses to any finite
+   score. *)
+let sanitize score = if Float.is_finite score then score else Float.infinity
+
+let guarded_score lambda score_of =
+  if not (usable_lambda lambda) then Float.infinity
+  else
+    match score_of lambda with
+    | score -> sanitize score
+    | exception Linalg.Singular _ -> Float.infinity
+
+let fail_if_all_non_finite ~selector (best : 'a Optimize.Cross_validation.score) =
+  if not (Float.is_finite best.Optimize.Cross_validation.score) then
+    Robust.Error.raise_error
+      (Robust.Error.Non_finite { stage = "lambda selection (" ^ selector ^ ")" })
+
 let gcv problem ~lambdas =
   let a = Problem.design problem in
   let w = Problem.weights problem in
   let omega = Problem.penalty problem in
   let n = float_of_int (Problem.num_measurements problem) in
+  let score_of lambda =
+    let fit =
+      Optimize.Ridge.solve ~a ~b:problem.Problem.measurements ~weights:w ~penalty:omega
+        ~lambda ()
+    in
+    let denom = n -. (robust_gamma *. fit.Optimize.Ridge.edf) in
+    if denom <= 0.0 then Float.infinity else n *. fit.Optimize.Ridge.rss /. (denom *. denom)
+  in
   let best, curve =
     Optimize.Cross_validation.select ~lambdas ~fit_and_score:(fun lambda ->
-        let fit =
-          Optimize.Ridge.solve ~a ~b:problem.Problem.measurements ~weights:w ~penalty:omega
-            ~lambda ()
-        in
-        let denom = n -. (robust_gamma *. fit.Optimize.Ridge.edf) in
-        let score =
-          if denom <= 0.0 then Float.infinity
-          else n *. fit.Optimize.Ridge.rss /. (denom *. denom)
-        in
-        (fit, score))
+        ((), guarded_score lambda score_of))
   in
+  fail_if_all_non_finite ~selector:"GCV" best;
   ( best.Optimize.Cross_validation.lambda,
     Array.map
-      (fun (s : Optimize.Ridge.fit Optimize.Cross_validation.score) ->
+      (fun (s : unit Optimize.Cross_validation.score) ->
         { lambda = s.Optimize.Cross_validation.lambda; score = s.Optimize.Cross_validation.score })
       curve )
 
@@ -66,9 +87,9 @@ let kfold problem ~rng ~k ~lambdas =
   in
   let best, curve =
     Optimize.Cross_validation.select ~lambdas ~fit_and_score:(fun lambda ->
-        let s = score_of lambda in
-        ((), s))
+        ((), guarded_score lambda score_of))
   in
+  fail_if_all_non_finite ~selector:"k-fold CV" best;
   ( best.Optimize.Cross_validation.lambda,
     Array.map
       (fun (s : unit Optimize.Cross_validation.score) ->
@@ -81,27 +102,38 @@ let kfold problem ~rng ~k ~lambdas =
 let lcurve problem ~lambdas =
   let n_l = Array.length lambdas in
   assert (n_l >= 3);
+  (* Candidates whose solve fails or yields non-finite misfit/roughness are
+     dropped (None): they take no part in the curvature search. *)
   let points =
     Array.map
       (fun lambda ->
-        let est = Solver.solve_unconstrained ~lambda problem in
-        ( log (Float.max 1e-300 est.Solver.data_misfit),
-          log (Float.max 1e-300 est.Solver.roughness) ))
+        if not (usable_lambda lambda) then None
+        else
+          match Solver.solve_unconstrained ~lambda problem with
+          | exception Linalg.Singular _ -> None
+          | est ->
+            let x = log (Float.max 1e-300 est.Solver.data_misfit) in
+            let y = log (Float.max 1e-300 est.Solver.roughness) in
+            if Float.is_finite x && Float.is_finite y then Some (x, y) else None)
       lambdas
   in
+  if not (Array.exists Option.is_some points) then
+    Robust.Error.raise_error (Robust.Error.Non_finite { stage = "lambda selection (L-curve)" });
   (* Discrete curvature via the circumscribed-circle formula on successive
      triples. Where the curve saturates (λ → 0 or λ → ∞) consecutive points
      nearly coincide and the circumradius collapses, faking a huge
      curvature — ignore triples with degenerate segments. *)
   let min_segment = 5e-2 in
   let curvature i =
-    let x0, y0 = points.(i - 1) and x1, y1 = points.(i) and x2, y2 = points.(i + 1) in
-    let area2 = ((x1 -. x0) *. (y2 -. y0)) -. ((x2 -. x0) *. (y1 -. y0)) in
-    let d01 = Float.hypot (x1 -. x0) (y1 -. y0) in
-    let d12 = Float.hypot (x2 -. x1) (y2 -. y1) in
-    let d02 = Float.hypot (x2 -. x0) (y2 -. y0) in
-    if d01 < min_segment || d12 < min_segment || d02 = 0.0 then 0.0
-    else 2.0 *. Float.abs area2 /. (d01 *. d12 *. d02)
+    match (points.(i - 1), points.(i), points.(i + 1)) with
+    | Some (x0, y0), Some (x1, y1), Some (x2, y2) ->
+      let area2 = ((x1 -. x0) *. (y2 -. y0)) -. ((x2 -. x0) *. (y1 -. y0)) in
+      let d01 = Float.hypot (x1 -. x0) (y1 -. y0) in
+      let d12 = Float.hypot (x2 -. x1) (y2 -. y1) in
+      let d02 = Float.hypot (x2 -. x0) (y2 -. y0) in
+      if d01 < min_segment || d12 < min_segment || d02 = 0.0 then 0.0
+      else 2.0 *. Float.abs area2 /. (d01 *. d12 *. d02)
+    | _ -> 0.0
   in
   let best = ref 1 in
   let curve =
@@ -117,9 +149,19 @@ let lcurve problem ~lambdas =
 let select problem ~method_ ?rng ?lambdas () =
   let lambdas = match lambdas with Some l -> l | None -> Lazy.force default_grid in
   match method_ with
-  | `Fixed lambda -> lambda
+  | `Fixed lambda ->
+    if usable_lambda lambda then lambda
+    else
+      Robust.Error.raise_error
+        (Robust.Error.Invalid_input
+           { field = "lambda"; why = Printf.sprintf "fixed lambda %g is not usable" lambda })
   | `Gcv -> fst (gcv problem ~lambdas)
   | `Lcurve -> fst (lcurve problem ~lambdas)
   | `Kfold k ->
     let rng = match rng with Some r -> r | None -> Rng.create 42 in
     fst (kfold problem ~rng ~k ~lambdas)
+
+let select_result problem ~method_ ?rng ?lambdas () =
+  match select problem ~method_ ?rng ?lambdas () with
+  | lambda -> Ok lambda
+  | exception Robust.Error.Error e -> Error e

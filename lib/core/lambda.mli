@@ -40,4 +40,20 @@ val select :
   unit ->
   float
 (** Unified entry point; the default grid is 25 points, logarithmic in
-    [1e-7, 1e2]. *)
+    [1e-7, 1e2].
+
+    All selectors are guarded against non-finite candidates: NaN/Inf λ grid
+    points and candidates whose cost comes out NaN/Inf (or whose fit raises
+    {!Linalg.Singular}) are skipped rather than allowed to win the argmin.
+    When {e every} candidate is non-finite the selection raises
+    {!Robust.Error.Error} with [Non_finite {stage = "lambda selection ..."}]
+    — use {!select_result} for the non-raising form. *)
+
+val select_result :
+  Problem.t ->
+  method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
+  ?rng:Rng.t ->
+  ?lambdas:Vec.t ->
+  unit ->
+  (float, Robust.Error.t) result
+(** As {!select}, returning the typed error instead of raising. *)

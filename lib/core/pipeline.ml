@@ -20,6 +20,8 @@ type config = {
   use_rate_continuity : bool;
   forward_mode : forward_mode;
   seed : int;
+  measurement_fault : Vec.t Robust.Fault.t option;
+  solver_policy : Solver.policy;
 }
 
 let default_config ~times =
@@ -39,6 +41,8 @@ let default_config ~times =
     use_rate_continuity = true;
     forward_mode = Monte_carlo;
     seed = 1;
+    measurement_fault = None;
+    solver_policy = Solver.default_policy;
   }
 
 type run = {
@@ -52,6 +56,7 @@ type run = {
   problem : Problem.t;
   lambda : float;
   estimate : Solver.estimate;
+  report : Robust.Report.t;
   recovery : Metrics.comparison;
 }
 
@@ -64,6 +69,7 @@ let run config ~profile =
   let rng_data = Rng.split root in
   let rng_noise = Rng.split root in
   let rng_cv = Rng.split root in
+  let rng_fault = Rng.split root in
   let kernel =
     Cellpop.Kernel.estimate ~smooth_window:config.kernel_smooth_window inversion_params
       ~rng:rng_kernel ~n_cells:config.n_cells_kernel ~times:config.times ~n_phi:config.n_phi
@@ -87,6 +93,11 @@ let run config ~profile =
         snapshots
   in
   let noisy, sigmas = Noise.apply config.noise rng_noise clean in
+  let noisy =
+    match config.measurement_fault with
+    | None -> noisy
+    | Some fault -> Robust.Fault.apply fault rng_fault noisy
+  in
   let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:config.num_knots in
   let problem =
     Problem.create ~use_positivity:config.use_positivity
@@ -94,8 +105,21 @@ let run config ~profile =
       ~use_rate_continuity:config.use_rate_continuity ~sigmas ~kernel ~basis ~measurements:noisy
       ~params:inversion_params ()
   in
-  let lambda = Lambda.select problem ~method_:config.selection ~rng:rng_cv () in
-  let estimate = Solver.solve ~lambda problem in
+  (* λ selection runs on the repaired copy: a single NaN measurement would
+     otherwise poison every candidate score. If selection still fails
+     (typed Robust error), fall back to the solver's default λ — the
+     cascade takes over from there. *)
+  let lambda =
+    let repaired, _ = Solver.repair_problem problem in
+    match Lambda.select_result repaired ~method_:config.selection ~rng:rng_cv () with
+    | Ok lambda -> lambda
+    | Error _ -> 1e-4
+  in
+  let estimate, report =
+    match Solver.solve_robust ~policy:config.solver_policy ~lambda problem with
+    | Ok (estimate, report) -> (estimate, report)
+    | Error e -> Robust.Error.raise_error e
+  in
   let phases = kernel.Cellpop.Kernel.phases in
   let truth = Array.map profile phases in
   let recovery = Metrics.compare ~truth ~estimate:estimate.Solver.profile in
@@ -110,6 +134,7 @@ let run config ~profile =
     problem;
     lambda;
     estimate;
+    report;
     recovery;
   }
 

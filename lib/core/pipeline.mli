@@ -38,6 +38,10 @@ type config = {
   use_rate_continuity : bool;
   forward_mode : forward_mode;
   seed : int;
+  measurement_fault : Vec.t Robust.Fault.t option;
+      (** optional fault injected into the noisy measurements before the
+          inversion — the end-to-end robustness test hook *)
+  solver_policy : Solver.policy;  (** degradation-cascade policy *)
 }
 
 val default_config : times:Vec.t -> config
@@ -56,10 +60,16 @@ type run = {
   problem : Problem.t;
   lambda : float;
   estimate : Solver.estimate;
+  report : Robust.Report.t;  (** what the cascade did to produce [estimate] *)
   recovery : Metrics.comparison;
 }
 
 val run : config -> profile:(float -> float) -> run
+(** The inversion routes through {!Solver.solve_robust}: λ selection runs
+    on a repaired copy of the problem (falling back to λ = 1e-4 when every
+    candidate is non-finite) and the degradation cascade handles faulty
+    data. Raises {!Robust.Error.Error} only when even the cascade's last
+    fallback cannot produce a finite estimate. *)
 
 val population_vs_phase : run -> Vec.t * Vec.t
 (** [(minutes, values)] of the measured population signal (for plotting

@@ -14,12 +14,19 @@ type t = {
 let create ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_continuity = true)
     ?sigmas ~kernel ~basis ~measurements ~params () =
   let n_m = Array.length measurements in
-  assert (Array.length kernel.Cellpop.Kernel.times = n_m);
+  if Array.length kernel.Cellpop.Kernel.times <> n_m then
+    invalid_arg
+      (Printf.sprintf "Problem.create: %d measurements but kernel has %d times" n_m
+         (Array.length kernel.Cellpop.Kernel.times));
   let sigmas =
     match sigmas with
     | Some s ->
-      assert (Array.length s = n_m);
-      Array.iter (fun x -> assert (x > 0.0)) s;
+      if Array.length s <> n_m then
+        invalid_arg
+          (Printf.sprintf "Problem.create: %d sigmas for %d measurements" (Array.length s) n_m);
+      (* Sigma positivity/finiteness is deliberately NOT asserted here:
+         [validate] reports it as a typed error, and the robust solver can
+         repair it. *)
       s
     | None -> Vec.ones n_m
   in
@@ -35,6 +42,19 @@ let create ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_contin
   }
 
 let num_measurements t = Array.length t.measurements
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = Robust.Validate.kernel t.kernel in
+  let* () =
+    if t.basis.Spline.Basis.size < 2 then
+      Error
+        (Robust.Error.Invalid_input
+           { field = "basis"; why = "fewer than 2 basis functions" })
+    else Ok ()
+  in
+  let* () = Robust.Validate.finite ~stage:"measurements" t.measurements in
+  Robust.Validate.sigmas t.sigmas
 
 let weights t = Array.map (fun s -> 1.0 /. (s *. s)) t.sigmas
 

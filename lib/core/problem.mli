@@ -30,6 +30,14 @@ val create :
     checked. *)
 
 val num_measurements : t -> int
+
+val validate : t -> (unit, Robust.Error.t) result
+(** Pre-solve validation: kernel well-formed (finite Q, sorted non-negative
+    times, every row of mass ≈ 1), measurements finite, sigmas finite and
+    strictly positive. Turns what used to be deep-in-the-stack crashes or
+    silent NaN propagation into an early structured error; the robust
+    solver calls this (after input repair) before touching the QP. *)
+
 val weights : t -> Vec.t
 (** 1/σ_m² — the weights of the data-fidelity term in eq. 5. *)
 

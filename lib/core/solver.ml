@@ -15,12 +15,17 @@ type estimate = {
 (* Quadratic form pieces of eq. 5:
    C(α) = (g − Aα)ᵀ W (g − Aα) + λ αᵀ Ω α
         = αᵀ(AᵀWA + λΩ)α − 2(AᵀWg)ᵀα + const,
-   i.e. QP with H = 2(AᵀWA + λΩ), linear term −2AᵀWg. *)
-let quadratic_pieces problem lambda =
+   i.e. QP with H = 2(AᵀWA + λΩ), linear term −2AᵀWg. An optional ridge
+   (the cascade's escalating floor) adds ridge·I inside the parentheses. *)
+let quadratic_pieces ?(ridge = 0.0) problem lambda =
   let a = Problem.design problem in
   let w = Problem.weights problem in
   let omega = Problem.penalty problem in
   let normal = Optimize.Ridge.normal_matrix ~a ~weights:w ~penalty:omega ~lambda in
+  if ridge > 0.0 then
+    for i = 0 to normal.Mat.rows - 1 do
+      Mat.set normal i i (Mat.get normal i i +. ridge)
+    done;
   let h = Mat.scale 2.0 normal in
   let wg = Vec.mul w problem.Problem.measurements in
   let g_lin = Vec.scale (-2.0) (Mat.tmv a wg) in
@@ -61,8 +66,11 @@ let finish problem lambda a w omega (alpha : Vec.t) iterations active =
     qp_iterations = iterations;
   }
 
-let solve ?(lambda = 1e-4) problem =
-  let a, w, omega, h, g_lin = quadratic_pieces problem lambda in
+(* The full constrained solve, returning the QP status alongside the
+   estimate so the cascade can distinguish "converged" from "gave up". *)
+let solve_constrained ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true)
+    ~lambda problem =
+  let a, w, omega, h, g_lin = quadratic_pieces ~ridge problem lambda in
   let c_eq = equality_rows problem in
   let d_eq = Option.map (fun (c : Mat.t) -> Vec.zeros c.Mat.rows) c_eq in
   let a_ineq, b_ineq =
@@ -77,12 +85,15 @@ let solve ?(lambda = 1e-4) problem =
     else (None, None)
   in
   let qp = { Optimize.Qp.h; g = g_lin; c_eq; d_eq; a_ineq; b_ineq } in
-  let solution = Optimize.Qp.solve qp in
-  finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
-    (List.length solution.Optimize.Qp.active)
+  let solution = Optimize.Qp.solve ~tol ~max_iter ~fail_on_stall qp in
+  ( finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
+      (List.length solution.Optimize.Qp.active),
+    solution.Optimize.Qp.status )
 
-let solve_unconstrained ?(lambda = 1e-4) problem =
-  let a, w, omega, h, g_lin = quadratic_pieces problem lambda in
+let solve ?(lambda = 1e-4) ?ridge problem = fst (solve_constrained ?ridge ~lambda problem)
+
+let solve_unconstrained ?(lambda = 1e-4) ?ridge problem =
+  let a, w, omega, h, g_lin = quadratic_pieces ?ridge problem lambda in
   let alpha = Optimize.Qp.unconstrained h g_lin in
   finish problem lambda a w omega alpha 0 0
 
@@ -97,3 +108,264 @@ let naive problem =
 
 let profile_on problem estimate grid =
   Spline.Basis.combine_many problem.Problem.basis estimate.alpha grid
+
+(* ---------------- graceful degradation ---------------- *)
+
+type policy = {
+  max_retries : int;
+  lambda_boost : float;
+  ridge_floor : float;
+  ridge_growth : float;
+  condition_limit : float;
+  qp_tol : float;
+  qp_max_iter : int;
+  enable_unconstrained : bool;
+  enable_richardson_lucy : bool;
+  repair_inputs : bool;
+  rl_iterations : int;
+}
+
+let default_policy =
+  {
+    max_retries = 2;
+    lambda_boost = 10.0;
+    ridge_floor = 1e-8;
+    ridge_growth = 100.0;
+    (* κ ≈ 1e10 still leaves ~6 significant digits in double precision and
+       shows up on routine noisy datasets; only precondition when a direct
+       solve is genuinely at risk. *)
+    condition_limit = 1e12;
+    qp_tol = 1e-9;
+    qp_max_iter = 100;
+    enable_unconstrained = true;
+    enable_richardson_lucy = true;
+    repair_inputs = true;
+    rl_iterations = 200;
+  }
+
+(* Sigma that effectively removes a measurement from the fit (weight
+   1/σ² ~ 1e-300) while staying finite and positive for validation. *)
+let masking_sigma = 1e150
+
+let repair_problem problem =
+  let n = Array.length problem.Problem.measurements in
+  let meas = Array.copy problem.Problem.measurements in
+  let sig_ = Array.copy problem.Problem.sigmas in
+  let good_sigma s = Float.is_finite s && s > 0.0 in
+  let replacement =
+    let good = List.filter good_sigma (Array.to_list sig_) in
+    match List.sort compare good with
+    | [] -> 1.0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let floored = ref 0 and masked = ref 0 in
+  for i = 0 to n - 1 do
+    if not (good_sigma sig_.(i)) then begin
+      sig_.(i) <- replacement;
+      incr floored
+    end;
+    if not (Float.is_finite meas.(i)) then begin
+      meas.(i) <- 0.0;
+      sig_.(i) <- masking_sigma;
+      incr masked
+    end
+  done;
+  let repairs =
+    (if !masked > 0 then
+       [ { Robust.Report.action = "masked non-finite measurements"; count = !masked } ]
+     else [])
+    @
+    if !floored > 0 then
+      [ { Robust.Report.action = "replaced invalid sigmas"; count = !floored } ]
+    else []
+  in
+  if repairs = [] then (problem, [])
+  else ({ problem with Problem.measurements = meas; sigmas = sig_ }, repairs)
+
+let finite_vec = Robust.Validate.all_finite
+
+let finite_estimate e =
+  finite_vec e.alpha && finite_vec e.profile && finite_vec e.fitted && Float.is_finite e.cost
+
+(* Wrap the Richardson–Lucy grid estimate in the [estimate] record: project
+   the grid profile onto the spline basis so [profile_on] keeps working,
+   and recompute the cost pieces against the (repaired) measurements. *)
+let estimate_of_richardson_lucy problem lambda (rl : Richardson_lucy.result) =
+  let basis = problem.Problem.basis in
+  let phases = problem.Problem.kernel.Cellpop.Kernel.phases in
+  let alpha =
+    match Linalg.qr_lstsq (Spline.Basis.design basis phases) rl.Richardson_lucy.profile with
+    | alpha -> alpha
+    | exception Linalg.Singular _ -> Vec.zeros basis.Spline.Basis.size
+  in
+  let w = Problem.weights problem in
+  let residuals = Vec.sub problem.Problem.measurements rl.Richardson_lucy.fitted in
+  let data_misfit =
+    let acc = ref 0.0 in
+    Array.iteri (fun i r -> acc := !acc +. (w.(i) *. r *. r)) residuals;
+    !acc
+  in
+  let omega = Problem.penalty problem in
+  let roughness = Vec.dot alpha (Mat.mv omega alpha) in
+  {
+    alpha;
+    profile = rl.Richardson_lucy.profile;
+    fitted = rl.Richardson_lucy.fitted;
+    lambda;
+    cost = data_misfit +. (lambda *. roughness);
+    data_misfit;
+    roughness;
+    active_positivity = 0;
+    qp_iterations = rl.Richardson_lucy.iterations;
+  }
+
+let solve_robust_validated ~policy ~lambda problem =
+  let attempts = ref [] in
+  let record stage lam ridge t0 outcome =
+    attempts :=
+      { Robust.Report.stage; lambda = lam; ridge; seconds = Sys.time () -. t0; outcome }
+      :: !attempts
+  in
+  let problem', repairs =
+    if policy.repair_inputs then repair_problem problem else (problem, [])
+  in
+  let t_validate = Sys.time () in
+  match Problem.validate problem' with
+  | Error e ->
+    record Robust.Report.Validation lambda 0.0 t_validate (Error e);
+    Error e
+  | Ok () ->
+    let problem = problem' in
+    let repaired = repairs <> [] in
+    (* Condition estimate of the penalized normal matrix at the entry λ:
+       both a diagnostic and the trigger for a preemptive ridge floor. *)
+    let normal =
+      Optimize.Ridge.normal_matrix ~a:(Problem.design problem)
+        ~weights:(Problem.weights problem) ~penalty:(Problem.penalty problem) ~lambda
+    in
+    let h_scale = Float.max 1e-300 (Mat.max_abs normal) in
+    let condition = (try Some (Linalg.condition_spd normal) with _ -> None) in
+    let precondition_ridge =
+      match condition with
+      | Some c when c > policy.condition_limit -> policy.ridge_floor *. h_scale
+      | _ -> 0.0
+    in
+    let report stage degradation =
+      {
+        Robust.Report.attempts = List.rev !attempts;
+        condition;
+        repairs;
+        degradation;
+        solved_by = stage;
+      }
+    in
+    let last_error = ref (Robust.Error.Non_finite { stage = "solver" }) in
+    let result = ref None in
+    (* Stage 1: constrained QP with bounded retry — escalating λ boost and
+       ridge floor over the regularization strength. *)
+    let k = ref 0 in
+    while !result = None && !k <= policy.max_retries do
+      let lam = lambda *. (policy.lambda_boost ** float_of_int !k) in
+      let ridge =
+        if !k = 0 then precondition_ridge
+        else
+          Float.max precondition_ridge (policy.ridge_floor *. h_scale)
+          *. (policy.ridge_growth ** float_of_int (!k - 1))
+      in
+      let t0 = Sys.time () in
+      (match
+         solve_constrained ~ridge ~tol:policy.qp_tol ~max_iter:policy.qp_max_iter
+           ~fail_on_stall:false ~lambda:lam problem
+       with
+      | exception Linalg.Singular _ ->
+        let e =
+          Robust.Error.Ill_conditioned
+            { cond = Option.value condition ~default:Float.infinity }
+        in
+        record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+        last_error := e
+      | exception Optimize.Qp.Infeasible _ ->
+        let e = Robust.Error.Qp_stalled { iterations = policy.qp_max_iter } in
+        record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+        last_error := e
+      | est, Optimize.Qp.Stalled ->
+        let e = Robust.Error.Qp_stalled { iterations = est.qp_iterations } in
+        record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+        last_error := e
+      | est, Optimize.Qp.Converged ->
+        if finite_estimate est then begin
+          record Robust.Report.Constrained_qp lam ridge t0 (Ok ());
+          let degradation =
+            if !k = 0 && (not repaired) && precondition_ridge = 0.0 then 0 else 1
+          in
+          result := Some (est, report Robust.Report.Constrained_qp degradation)
+        end
+        else begin
+          let e = Robust.Error.Non_finite { stage = "constrained QP solution" } in
+          record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+          last_error := e
+        end);
+      incr k
+    done;
+    (* Stage 2: unconstrained smoothing spline at the most-boosted
+       regularization. *)
+    if !result = None && policy.enable_unconstrained then begin
+      let lam = lambda *. (policy.lambda_boost ** float_of_int policy.max_retries) in
+      let ridge =
+        Float.max precondition_ridge
+          (policy.ridge_floor *. h_scale
+          *. (policy.ridge_growth ** float_of_int (Stdlib.max 0 (policy.max_retries - 1))))
+      in
+      let t0 = Sys.time () in
+      match solve_unconstrained ~lambda:lam ~ridge problem with
+      | exception Linalg.Singular _ ->
+        let e =
+          Robust.Error.Ill_conditioned
+            { cond = Option.value condition ~default:Float.infinity }
+        in
+        record Robust.Report.Unconstrained lam ridge t0 (Error e);
+        last_error := e
+      | est ->
+        if finite_estimate est then begin
+          record Robust.Report.Unconstrained lam ridge t0 (Ok ());
+          result := Some (est, report Robust.Report.Unconstrained 2)
+        end
+        else begin
+          let e = Robust.Error.Non_finite { stage = "unconstrained solution" } in
+          record Robust.Report.Unconstrained lam ridge t0 (Error e);
+          last_error := e
+        end
+    end;
+    (* Stage 3: Richardson–Lucy on the raw grid — positivity-preserving and
+       factorization-free, the fallback of last resort. *)
+    if !result = None && policy.enable_richardson_lucy then begin
+      let t0 = Sys.time () in
+      let measurements = Array.map (fun g -> Float.max 0.0 g) problem.Problem.measurements in
+      match
+        Richardson_lucy.deconvolve ~iterations:policy.rl_iterations problem.Problem.kernel
+          ~measurements ()
+      with
+      | exception _ ->
+        let e = Robust.Error.Non_finite { stage = "Richardson-Lucy" } in
+        record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
+        last_error := e
+      | rl ->
+        let est = estimate_of_richardson_lucy problem lambda rl in
+        if finite_estimate est then begin
+          record Robust.Report.Richardson_lucy lambda 0.0 t0 (Ok ());
+          result := Some (est, report Robust.Report.Richardson_lucy 3)
+        end
+        else begin
+          let e = Robust.Error.Non_finite { stage = "Richardson-Lucy" } in
+          record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
+          last_error := e
+        end
+    end;
+    (match !result with Some (est, rep) -> Ok (est, rep) | None -> Error !last_error)
+
+let solve_robust ?(policy = default_policy) ?(lambda = 1e-4) problem =
+  if not (Float.is_finite lambda && lambda >= 0.0) then
+    Error
+      (Robust.Error.Invalid_input
+         { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" lambda })
+  else solve_robust_validated ~policy ~lambda problem

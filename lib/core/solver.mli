@@ -1,6 +1,8 @@
 (** The constrained regularized estimator of paper §2.3: minimize the cost
     C(λ) of eq. 5 subject to positivity, conservation and rate-continuity,
-    as a convex QP over the spline coefficients. *)
+    as a convex QP over the spline coefficients — plus {!solve_robust}, a
+    fault-tolerant front end that validates, repairs, retries and degrades
+    gracefully instead of raising from deep inside the numerics. *)
 
 open Numerics
 
@@ -16,10 +18,12 @@ type estimate = {
   qp_iterations : int;
 }
 
-val solve : ?lambda:float -> Problem.t -> estimate
-(** Default λ = 1e-4 (use {!Lambda} for data-driven selection). *)
+val solve : ?lambda:float -> ?ridge:float -> Problem.t -> estimate
+(** Default λ = 1e-4 (use {!Lambda} for data-driven selection). [ridge]
+    (default 0) adds ridge·I to the normal matrix — the knob the robust
+    cascade escalates to fight ill-conditioning. *)
 
-val solve_unconstrained : ?lambda:float -> Problem.t -> estimate
+val solve_unconstrained : ?lambda:float -> ?ridge:float -> Problem.t -> estimate
 (** The same objective ignoring all constraints — the pure smoothing-spline
     baseline (used for λ selection and ablations). *)
 
@@ -31,3 +35,52 @@ val naive : Problem.t -> estimate
 
 val profile_on : Problem.t -> estimate -> Vec.t -> Vec.t
 (** Evaluate the estimated f̂ on an arbitrary phase grid. *)
+
+(** {1 Fault tolerance} *)
+
+type policy = {
+  max_retries : int;  (** extra constrained attempts after the first *)
+  lambda_boost : float;  (** λ multiplier per retry *)
+  ridge_floor : float;  (** first retry's ridge, relative to ‖H‖_max *)
+  ridge_growth : float;  (** ridge multiplier per further retry *)
+  condition_limit : float;  (** κ above which a preemptive ridge is applied *)
+  qp_tol : float;
+  qp_max_iter : int;
+  enable_unconstrained : bool;  (** allow degradation level 2 *)
+  enable_richardson_lucy : bool;  (** allow degradation level 3 *)
+  repair_inputs : bool;  (** mask NaN measurements, fix bad sigmas *)
+  rl_iterations : int;
+}
+
+val default_policy : policy
+(** 2 retries, λ×10 per retry, relative ridge floor 1e-8 growing ×100,
+    condition limit 1e12, both fallbacks and input repair enabled. *)
+
+val repair_problem : Problem.t -> Problem.t * Robust.Report.repair list
+(** Best-effort input repair: non-finite measurements are masked (value 0
+    with a huge-but-finite σ, so their weight vanishes) and non-finite or
+    non-positive sigmas are replaced by the median of the valid ones.
+    Returns the problem unchanged (physically equal) when nothing needed
+    fixing. *)
+
+val solve_robust :
+  ?policy:policy ->
+  ?lambda:float ->
+  Problem.t ->
+  (estimate * Robust.Report.t, Robust.Error.t) result
+(** Fault-tolerant solve. The cascade:
+
+    {ol
+     {- repair inputs (if [policy.repair_inputs]) and {!Problem.validate};
+        unreparable input ⇒ [Error];}
+     {- estimate the condition number of AᵀWA + λΩ; above
+        [condition_limit], precondition with a ridge;}
+     {- constrained QP, retrying up to [max_retries] times with escalating
+        λ and ridge on stall / singular factorization / non-finite result;}
+     {- unconstrained smoothing spline at the boosted regularization;}
+     {- Richardson–Lucy multiplicative deconvolution (positivity-preserving,
+        factorization-free).}}
+
+    On a clean problem the first attempt is numerically identical to
+    {!solve} and the report shows [degradation = 0]. Every attempt (stage,
+    λ, ridge, wall-clock, outcome) is recorded in the report. *)

@@ -1,6 +1,21 @@
-(** Minimal CSV reading/writing (no quoting — numeric tables only). *)
+(** Minimal CSV reading/writing (no quoting — numeric tables only).
+
+    Reading comes in two flavours: [_result] functions report malformed
+    input as a structured {!error} (1-based line and column of the
+    offending field), and the plain functions raise {!Parse_error} carrying
+    the same value — never a bare [Failure]. *)
 
 open Numerics
+
+type error = {
+  line : int;  (** 1-based physical line number in the file *)
+  column : int;  (** 1-based field index within the line *)
+  message : string;
+}
+
+exception Parse_error of error
+
+val error_to_string : error -> string
 
 val write : path:string -> header:string list -> rows:float array list -> unit
 (** Each row is one line; header names the columns. *)
@@ -8,9 +23,17 @@ val write : path:string -> header:string list -> rows:float array list -> unit
 val write_columns : path:string -> header:string list -> columns:Vec.t list -> unit
 (** Transposed convenience: all columns must have equal length. *)
 
-val read : path:string -> string list * float array list
+val read_result : path:string -> (string list * float array list, error) result
 (** Returns [(header, rows)]. The first line is taken as a header when any
     of its fields fails to parse as a number; otherwise the header is
-    empty. *)
+    empty. Every data row must have the same number of fields and every
+    field must parse as a number, else the [error] pinpoints the first
+    offending line and column. *)
+
+val read : path:string -> string list * float array list
+(** As {!read_result}, raising {!Parse_error} on malformed input. *)
+
+val read_columns_result : path:string -> (string list * Vec.t list, error) result
 
 val read_columns : path:string -> string list * Vec.t list
+(** As {!read_columns_result}, raising {!Parse_error} on malformed input. *)

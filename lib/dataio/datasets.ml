@@ -20,3 +20,24 @@ let judd_fractions =
 let ftsz_measurement_times = Array.init 13 (fun i -> float_of_int i *. 160.0 /. 12.0)
 
 let lv_measurement_times = Array.init 13 (fun i -> float_of_int i *. 15.0)
+
+let load_measurements ~path =
+  match Csv.read_columns_result ~path with
+  | Error e -> Error e
+  | Ok (_, columns) -> (
+    let sorted times g sigmas =
+      (* Accept unsorted files: order all columns by time. *)
+      let order = Array.init (Array.length times) Fun.id in
+      Array.sort (fun a b -> compare times.(a) times.(b)) order;
+      let reorder v = Array.map (fun i -> v.(i)) order in
+      Ok (reorder times, reorder g, Option.map reorder sigmas)
+    in
+    match columns with
+    | [ t; g ] -> sorted t g None
+    | [ t; g; s ] -> sorted t g (Some s)
+    | cols ->
+      Error
+        { Csv.line = 1; column = List.length cols;
+          message =
+            Printf.sprintf "expected 2 or 3 columns (minutes,g[,sigma]), found %d"
+              (List.length cols) })

@@ -26,3 +26,10 @@ val ftsz_measurement_times : Vec.t
 
 val lv_measurement_times : Vec.t
 (** Sampling grid of the Fig. 2/3 experiment: 0–180 minutes every 15. *)
+
+val load_measurements :
+  path:string -> (Vec.t * Vec.t * Vec.t option, Csv.error) result
+(** Load a measurements CSV with columns [minutes,g[,sigma]] as
+    [(times, g, sigmas)], sorted by time (unsorted files are accepted and
+    reordered). Malformed files — wrong column count, non-numeric or
+    ragged rows — are reported as a structured {!Csv.error}. *)

@@ -14,3 +14,8 @@ val add_rows : t -> Vec.t list -> unit
 val to_string : ?precision:int -> t -> string
 val print : ?precision:int -> t -> unit
 (** Render with a title line, a header line and aligned numeric columns. *)
+
+val of_csv : path:string -> (t, Csv.error) result
+(** Load a numeric CSV as a table (title = file basename; columns named
+    c1, c2, ... when the file has no header). Malformed input is reported
+    as a structured {!Csv.error} rather than an exception. *)

@@ -9,11 +9,14 @@ type problem = {
   b_ineq : Vec.t option;
 }
 
+type status = Converged | Stalled
+
 type solution = {
   x : Vec.t;
   active : int list;
   iterations : int;
   kkt_residual : float;
+  status : status;
 }
 
 exception Infeasible of string
@@ -51,7 +54,7 @@ let stationarity_residual problem x nu z =
   Vec.norm_inf r /. scale
 
 (* Infeasible-start primal-dual path following for the inequality case. *)
-let solve_interior_point ~tol ~max_iter problem a b =
+let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
   let n = problem.h.Mat.rows in
   let m_ineq = a.Mat.rows in
   let n_eq = match problem.c_eq with Some c -> c.Mat.rows | None -> 0 in
@@ -152,7 +155,8 @@ let solve_interior_point ~tol ~max_iter problem a b =
       Vec.axpy alpha_d dz !z
     end
   done;
-  if not !converged then raise (Infeasible "Qp.solve: interior-point iteration limit");
+  if (not !converged) && fail_on_stall then
+    raise (Infeasible "Qp.solve: interior-point iteration limit");
   let active =
     let threshold = sqrt tol *. Float.max 1.0 (Vec.norm_inf !s) in
     List.filter (fun i -> !s.(i) < threshold) (List.init m_ineq (fun i -> i))
@@ -162,9 +166,10 @@ let solve_interior_point ~tol ~max_iter problem a b =
     active;
     iterations = !iterations;
     kkt_residual = stationarity_residual problem !x !y !z;
+    status = (if !converged then Converged else Stalled);
   }
 
-let solve ?(tol = 1e-9) ?(max_iter = 100) problem =
+let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
   let n = problem.h.Mat.rows in
   assert (Array.length problem.g = n);
   match (problem.a_ineq, problem.b_ineq) with
@@ -178,13 +183,20 @@ let solve ?(tol = 1e-9) ?(max_iter = 100) problem =
         active = [];
         iterations = 1;
         kkt_residual = stationarity_residual problem x nu [||];
+        status = Converged;
       }
     | None, _ ->
       let x = unconstrained problem.h problem.g in
-      { x; active = []; iterations = 1; kkt_residual = stationarity_residual problem x [||] [||] }
+      {
+        x;
+        active = [];
+        iterations = 1;
+        kkt_residual = stationarity_residual problem x [||] [||];
+        status = Converged;
+      }
     | Some _, None -> invalid_arg "Qp.solve: c_eq without d_eq")
   | Some a, Some b ->
     assert (a.Mat.cols = n);
     assert (Array.length b = a.Mat.rows);
-    solve_interior_point ~tol:(Float.max tol 1e-12) ~max_iter problem a b
+    solve_interior_point ~tol:(Float.max tol 1e-12) ~max_iter ~fail_on_stall problem a b
   | Some _, None -> invalid_arg "Qp.solve: a_ineq without b_ineq"

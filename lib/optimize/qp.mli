@@ -22,11 +22,16 @@ type problem = {
   b_ineq : Vec.t option;
 }
 
+type status =
+  | Converged  (** all KKT tolerances met *)
+  | Stalled  (** iteration cap reached first — the iterate is best-effort *)
+
 type solution = {
   x : Vec.t;
   active : int list;  (** inequality constraints essentially active at the solution *)
   iterations : int;
   kkt_residual : float;  (** infinity norm of the stationarity residual *)
+  status : status;
 }
 
 exception Infeasible of string
@@ -38,8 +43,11 @@ val solve_equality : Mat.t -> Vec.t -> c:Mat.t -> d:Vec.t -> Vec.t * Vec.t
 (** Equality-constrained minimizer via the KKT system; returns
     [(x, multipliers)]. *)
 
-val solve : ?tol:float -> ?max_iter:int -> problem -> solution
+val solve : ?tol:float -> ?max_iter:int -> ?fail_on_stall:bool -> problem -> solution
 (** Full solve. [tol] bounds both the complementarity measure and the
     scaled KKT residuals at termination (default 1e-9); [max_iter] defaults
-    to 100 interior-point steps. Raises {!Infeasible} when the iteration
-    fails to converge. *)
+    to 100 interior-point steps. When the iteration cap is reached without
+    convergence, raises {!Infeasible} if [fail_on_stall] (the default), and
+    otherwise returns the last iterate with [status = Stalled] so callers
+    (e.g. the robust degradation cascade) can distinguish "converged" from
+    "gave up" and react. *)

@@ -1,0 +1,45 @@
+type t =
+  | Ill_conditioned of { cond : float }
+  | Qp_stalled of { iterations : int }
+  | Non_finite of { stage : string }
+  | Invalid_input of { field : string; why : string }
+  | Kernel_degenerate
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let to_string = function
+  | Ill_conditioned { cond } ->
+    Printf.sprintf "ill-conditioned system (condition estimate %.3g)" cond
+  | Qp_stalled { iterations } ->
+    Printf.sprintf "QP stalled after %d iterations without converging" iterations
+  | Non_finite { stage } -> Printf.sprintf "non-finite values in %s" stage
+  | Invalid_input { field; why } -> Printf.sprintf "invalid %s: %s" field why
+  | Kernel_degenerate -> "degenerate kernel: a time row carries no mass"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | Ill_conditioned x, Ill_conditioned y -> Float.equal x.cond y.cond
+  | Qp_stalled x, Qp_stalled y -> x.iterations = y.iterations
+  | Non_finite x, Non_finite y -> String.equal x.stage y.stage
+  | Invalid_input x, Invalid_input y ->
+    String.equal x.field y.field && String.equal x.why y.why
+  | Kernel_degenerate, Kernel_degenerate -> true
+  | _ -> false
+
+let same_class (a : t) (b : t) =
+  match (a, b) with
+  | Ill_conditioned _, Ill_conditioned _
+  | Qp_stalled _, Qp_stalled _
+  | Non_finite _, Non_finite _
+  | Invalid_input _, Invalid_input _
+  | Kernel_degenerate, Kernel_degenerate -> true
+  | _ -> false
+
+let recoverable = function
+  | Ill_conditioned _ | Qp_stalled _ | Non_finite _ -> true
+  | Invalid_input { field; _ } -> String.equal field "sigmas"
+  | Kernel_degenerate -> false

@@ -1,0 +1,44 @@
+(** Typed taxonomy of the failure modes of the ill-posed inversion
+    (paper §2.3). Every recoverable or diagnosable failure in the solver
+    stack is expressed as one of these values instead of a raw
+    [failwith]/[assert], so callers can branch on the cause and the
+    degradation cascade can decide what to try next. *)
+
+type t =
+  | Ill_conditioned of { cond : float }
+      (** The penalized normal matrix has an estimated spectral condition
+          number too large for a trustworthy direct solve. *)
+  | Qp_stalled of { iterations : int }
+      (** The interior-point QP hit its iteration cap without meeting the
+          KKT tolerances. *)
+  | Non_finite of { stage : string }
+      (** A NaN or infinity was detected at the named stage (e.g.
+          "measurements", "kernel", "constrained QP solution"). *)
+  | Invalid_input of { field : string; why : string }
+      (** A structural precondition on the named input field is violated
+          (unsorted times, non-positive sigma, dimension mismatch, ...). *)
+  | Kernel_degenerate
+      (** A kernel time row carries (almost) no probability mass, so the
+          forward operator cannot be normalized. *)
+
+exception Error of t
+(** Escape hatch for contexts that cannot return a [result]; always
+    carries a value of the taxonomy above. *)
+
+val raise_error : t -> 'a
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality (payloads included). *)
+
+val same_class : t -> t -> bool
+(** Equality on the constructor only, ignoring payloads — what most tests
+    and retry policies actually branch on. *)
+
+val recoverable : t -> bool
+(** Whether the degradation cascade has a meaningful move left for this
+    error: numerical failures ([Ill_conditioned], [Qp_stalled],
+    [Non_finite]) and repairable sigma problems are recoverable; structural
+    input errors and degenerate kernels are not. *)

@@ -1,0 +1,53 @@
+(** Composable fault injectors for the robustness test harness: each value
+    describes one way real experimental data (or a Monte-Carlo kernel) goes
+    wrong. Injectors are pure — they return a corrupted copy and never
+    mutate their input — so a clean fixture can be re-corrupted many ways. *)
+
+open Numerics
+
+type 'a t = {
+  name : string;
+  inject : Rng.t -> 'a -> 'a;
+}
+
+val apply : 'a t -> Rng.t -> 'a -> 'a
+
+val compose : ?name:string -> 'a t list -> 'a t
+(** Apply several injectors left to right; the default name concatenates
+    the component names. *)
+
+(** {1 Vector faults} (measurements, sigmas, times) *)
+
+val nan_at : ?index:int -> unit -> Vec.t t
+(** Replace one entry (random when [index] is omitted) with NaN. *)
+
+val inf_at : ?index:int -> unit -> Vec.t t
+val zero_at : ?index:int -> unit -> Vec.t t
+(** Force one entry to 0 — the σ→0 fault when applied to sigmas. *)
+
+val negate_at : ?index:int -> unit -> Vec.t t
+
+val spike : ?index:int -> magnitude:float -> unit -> Vec.t t
+(** Adversarial noise spike: add [magnitude · max(1, ‖v‖∞)] to one entry. *)
+
+val shuffle : Vec.t t
+(** Random permutation, guaranteed different from the input order (for
+    vectors of length ≥ 2) — the shuffled-times fault. *)
+
+(** {1 Kernel faults} *)
+
+val kernel_nan_column : ?column:int -> unit -> Cellpop.Kernel.t t
+(** Poison one phase column of Q with NaN at every time. *)
+
+val kernel_zero_row : ?row:int -> unit -> Cellpop.Kernel.t t
+(** Zero one time row of Q — a degenerate (mass-free) kernel row. *)
+
+val kernel_duplicate_time : ?row:int -> unit -> Cellpop.Kernel.t t
+(** Make row [row] (default: a random row ≥ 1) an exact copy of the
+    previous row, time point included: duplicated time points that drive
+    the forward operator toward singularity without violating any
+    structural precondition. *)
+
+val kernel_shuffle_times : Cellpop.Kernel.t t
+(** Shuffle the kernel's time stamps (rows untouched), breaking the
+    sortedness invariant. *)

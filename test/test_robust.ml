@@ -1,0 +1,590 @@
+(* Robustness layer: typed errors, validators, fault injectors, the solver
+   degradation cascade, and the guarded lambda/CSV satellites. *)
+
+open Numerics
+open Testutil
+
+let params = Cellpop.Params.paper_2011
+let times = Array.init 13 (fun i -> 15.0 *. float_of_int i)
+
+let kernel =
+  lazy
+    (Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create 700) ~n_cells:3000 ~times
+       ~n_phi:101)
+
+let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:12
+
+let make_problem ?sigmas ?kernel:k measurements =
+  let kernel = match k with Some k -> k | None -> Lazy.force kernel in
+  Deconv.Problem.create ?sigmas ~kernel ~basis ~measurements ~params ()
+
+let pulse = Biomodels.Gene_profile.gaussian_pulse ~center:0.5 ~width:0.12 ~height:4.0 ()
+let clean_data = lazy (Deconv.Forward.apply_fn (Lazy.force kernel) pulse)
+
+let rng () = Rng.create 42
+
+let solved_by r = r.Robust.Report.solved_by
+let degradation r = r.Robust.Report.degradation
+
+let expect_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "expected Ok, got Error (%s)" (Robust.Error.to_string e)
+
+let expect_error_class expected = function
+  | Ok _ -> Alcotest.failf "expected Error (%s), got Ok" (Robust.Error.to_string expected)
+  | Error e ->
+    if not (Robust.Error.same_class expected e) then
+      Alcotest.failf "expected error class %s, got %s"
+        (Robust.Error.to_string expected)
+        (Robust.Error.to_string e)
+
+let finite_estimate (e : Deconv.Solver.estimate) =
+  Robust.Validate.all_finite e.Deconv.Solver.alpha
+  && Robust.Validate.all_finite e.Deconv.Solver.profile
+  && Robust.Validate.all_finite e.Deconv.Solver.fitted
+  && Float.is_finite e.Deconv.Solver.cost
+
+(* ---------------- Error taxonomy ---------------- *)
+
+let all_errors =
+  [
+    Robust.Error.Ill_conditioned { cond = 1e12 };
+    Robust.Error.Qp_stalled { iterations = 100 };
+    Robust.Error.Non_finite { stage = "measurements" };
+    Robust.Error.Invalid_input { field = "sigmas"; why = "zero" };
+    Robust.Error.Kernel_degenerate;
+  ]
+
+let test_error_strings () =
+  List.iter
+    (fun e -> check_true "to_string non-empty" (String.length (Robust.Error.to_string e) > 0))
+    all_errors
+
+let test_error_classes () =
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          Alcotest.(check bool)
+            "same_class iff same constructor" (i = j) (Robust.Error.same_class a b))
+        all_errors)
+    all_errors;
+  check_true "equal ignores nothing"
+    (not
+       (Robust.Error.equal
+          (Robust.Error.Qp_stalled { iterations = 1 })
+          (Robust.Error.Qp_stalled { iterations = 2 })));
+  check_true "same_class ignores payload"
+    (Robust.Error.same_class
+       (Robust.Error.Qp_stalled { iterations = 1 })
+       (Robust.Error.Qp_stalled { iterations = 2 }))
+
+let test_error_recoverable () =
+  check_true "numerical errors recoverable"
+    (List.for_all Robust.Error.recoverable
+       [
+         Robust.Error.Ill_conditioned { cond = 1e12 };
+         Robust.Error.Qp_stalled { iterations = 100 };
+         Robust.Error.Non_finite { stage = "x" };
+       ]);
+  check_true "degenerate kernel is not"
+    (not (Robust.Error.recoverable Robust.Error.Kernel_degenerate));
+  check_true "bad sigmas are repairable"
+    (Robust.Error.recoverable (Robust.Error.Invalid_input { field = "sigmas"; why = "zero" }));
+  check_true "structural input errors are not"
+    (not (Robust.Error.recoverable (Robust.Error.Invalid_input { field = "times"; why = "" })))
+
+(* ---------------- Validators ---------------- *)
+
+let test_validate_times () =
+  expect_ok (Robust.Validate.times ~field:"t" [| 0.0; 1.0; 1.0; 2.0 |]);
+  expect_error_class
+    (Robust.Error.Invalid_input { field = "t"; why = "" })
+    (Robust.Validate.times ~field:"t" [| 0.0; 2.0; 1.0 |]);
+  expect_error_class
+    (Robust.Error.Invalid_input { field = "t"; why = "" })
+    (Robust.Validate.times ~field:"t" [| -1.0; 0.0 |]);
+  expect_error_class
+    (Robust.Error.Non_finite { stage = "t" })
+    (Robust.Validate.times ~field:"t" [| 0.0; Float.nan |])
+
+let test_validate_sigmas () =
+  expect_ok (Robust.Validate.sigmas [| 0.5; 1.0 |]);
+  List.iter
+    (fun bad ->
+      expect_error_class
+        (Robust.Error.Invalid_input { field = "sigmas"; why = "" })
+        (Robust.Validate.sigmas [| 1.0; bad |]))
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
+let test_validate_kernel_clean () = expect_ok (Robust.Validate.kernel (Lazy.force kernel))
+
+let test_validate_kernel_faults () =
+  let k = Lazy.force kernel in
+  expect_error_class
+    (Robust.Error.Non_finite { stage = "kernel" })
+    (Robust.Validate.kernel
+       (Robust.Fault.apply (Robust.Fault.kernel_nan_column ~column:7 ()) (rng ()) k));
+  expect_error_class Robust.Error.Kernel_degenerate
+    (Robust.Validate.kernel
+       (Robust.Fault.apply (Robust.Fault.kernel_zero_row ~row:3 ()) (rng ()) k));
+  expect_error_class
+    (Robust.Error.Invalid_input { field = "kernel times"; why = "" })
+    (Robust.Validate.kernel (Robust.Fault.apply Robust.Fault.kernel_shuffle_times (rng ()) k));
+  (* A duplicated time point is structurally legal (ties allowed) — it must
+     pass validation and instead stress the solver downstream. *)
+  expect_ok
+    (Robust.Validate.kernel
+       (Robust.Fault.apply (Robust.Fault.kernel_duplicate_time ~row:6 ()) (rng ()) k))
+
+let test_problem_validate () =
+  expect_ok (Deconv.Problem.validate (make_problem (Lazy.force clean_data)));
+  expect_error_class
+    (Robust.Error.Non_finite { stage = "measurements" })
+    (Deconv.Problem.validate
+       (make_problem
+          (Robust.Fault.apply (Robust.Fault.nan_at ~index:4 ()) (rng ()) (Lazy.force clean_data))));
+  expect_error_class
+    (Robust.Error.Invalid_input { field = "sigmas"; why = "" })
+    (Deconv.Problem.validate
+       (make_problem
+          ~sigmas:(Robust.Fault.apply (Robust.Fault.zero_at ~index:2 ()) (rng ()) (Vec.ones 13))
+          (Lazy.force clean_data)))
+
+(* ---------------- Fault injectors ---------------- *)
+
+let test_faults_pure () =
+  let v = Lazy.force clean_data in
+  let before = Array.copy v in
+  List.iter
+    (fun f -> ignore (Robust.Fault.apply f (rng ()) v))
+    [
+      Robust.Fault.nan_at ();
+      Robust.Fault.inf_at ();
+      Robust.Fault.zero_at ();
+      Robust.Fault.negate_at ();
+      Robust.Fault.spike ~magnitude:10.0 ();
+      Robust.Fault.shuffle;
+    ];
+  check_vec ~tol:0.0 "injectors never mutate their input" before v
+
+let test_fault_nan_inf () =
+  let v = Vec.ones 8 in
+  let nan = Robust.Fault.apply (Robust.Fault.nan_at ~index:3 ()) (rng ()) v in
+  check_true "exactly one NaN" (Float.is_nan nan.(3));
+  Alcotest.(check int) "one corrupted entry" 7
+    (Array.length (Array.of_list (List.filter Float.is_finite (Array.to_list nan))));
+  let inf = Robust.Fault.apply (Robust.Fault.inf_at ~index:0 ()) (rng ()) v in
+  check_true "infinity planted" (inf.(0) = Float.infinity)
+
+let test_fault_shuffle () =
+  let v = Array.init 9 float_of_int in
+  let s = Robust.Fault.apply Robust.Fault.shuffle (rng ()) v in
+  check_true "order changed" (s <> v);
+  let sorted a = List.sort compare (Array.to_list a) in
+  check_true "same multiset" (sorted s = sorted v)
+
+let test_fault_spike () =
+  let v = Vec.make 5 2.0 in
+  let s = Robust.Fault.apply (Robust.Fault.spike ~index:1 ~magnitude:3.0 ()) (rng ()) v in
+  (* ‖v‖∞ = 2, so the spike adds 3 · 2 = 6. *)
+  check_close ~tol:1e-12 "spike magnitude relative to scale" 8.0 s.(1)
+
+let test_fault_compose () =
+  let f =
+    Robust.Fault.compose [ Robust.Fault.nan_at ~index:0 (); Robust.Fault.zero_at ~index:5 () ]
+  in
+  let v = Robust.Fault.apply f (rng ()) (Vec.ones 8) in
+  check_true "first component applied" (Float.is_nan v.(0));
+  check_close ~tol:0.0 "second component applied" 0.0 v.(5);
+  check_true "composed name mentions both"
+    (let n = f.Robust.Fault.name in
+     String.length n > String.length "nan_at")
+
+let test_fault_duplicate_time () =
+  let k = Lazy.force kernel in
+  let k' = Robust.Fault.apply (Robust.Fault.kernel_duplicate_time ~row:6 ()) (rng ()) k in
+  check_close ~tol:0.0 "time stamp duplicated" k'.Cellpop.Kernel.times.(5)
+    k'.Cellpop.Kernel.times.(6);
+  check_vec ~tol:0.0 "row duplicated" (Cellpop.Kernel.row k' 5) (Cellpop.Kernel.row k' 6);
+  check_true "original kernel untouched"
+    (k.Cellpop.Kernel.times.(5) <> k.Cellpop.Kernel.times.(6))
+
+(* ---------------- solve_robust: clean path ---------------- *)
+
+let test_clean_matches_solve () =
+  let problem = make_problem (Lazy.force clean_data) in
+  let est, report = expect_ok (Deconv.Solver.solve_robust ~lambda:1e-4 problem) in
+  Alcotest.(check int) "degradation 0" 0 (degradation report);
+  check_true "solved by constrained QP" (solved_by report = Robust.Report.Constrained_qp);
+  check_true "no repairs" (report.Robust.Report.repairs = []);
+  Alcotest.(check int) "single attempt" 1 (Robust.Report.num_attempts report);
+  check_true "no failed attempts" (Robust.Report.failed_attempts report = []);
+  check_true "condition estimated" (report.Robust.Report.condition <> None);
+  let reference = Deconv.Solver.solve ~lambda:1e-4 problem in
+  check_vec ~tol:0.0 "identical to Solver.solve" reference.Deconv.Solver.alpha
+    est.Deconv.Solver.alpha
+
+let prop_clean_equals_solve =
+  qcheck ~count:6 "solve_robust == solve on clean problems"
+    QCheck2.Gen.(int_range 2 4)
+    (fun e ->
+      let lambda = 10.0 ** float_of_int (-e) in
+      let problem = make_problem (Lazy.force clean_data) in
+      let est, report = expect_ok (Deconv.Solver.solve_robust ~lambda problem) in
+      let reference = Deconv.Solver.solve ~lambda problem in
+      degradation report = 0
+      && Vec.approx_equal ~tol:0.0 reference.Deconv.Solver.alpha est.Deconv.Solver.alpha)
+
+(* ---------------- solve_robust: repair + cascade ---------------- *)
+
+let test_nan_measurement_repaired () =
+  let poisoned =
+    Robust.Fault.apply (Robust.Fault.nan_at ~index:4 ()) (rng ()) (Lazy.force clean_data)
+  in
+  let est, report = expect_ok (Deconv.Solver.solve_robust ~lambda:1e-4 (make_problem poisoned)) in
+  check_true "estimate finite" (finite_estimate est);
+  check_true "repair recorded"
+    (List.exists
+       (fun r -> r.Robust.Report.count = 1)
+       report.Robust.Report.repairs);
+  check_true "degradation >= 1 after repair" (degradation report >= 1);
+  (* Masking one of 13 points should barely move the estimate. *)
+  let reference = Deconv.Solver.solve ~lambda:1e-4 (make_problem (Lazy.force clean_data)) in
+  check_true "still close to the clean fit"
+    (Stats.rmse reference.Deconv.Solver.profile est.Deconv.Solver.profile < 0.5)
+
+let test_zero_sigma_repaired () =
+  let sigmas = Robust.Fault.apply (Robust.Fault.zero_at ~index:2 ()) (rng ()) (Vec.make 13 0.1) in
+  let est, report =
+    expect_ok (Deconv.Solver.solve_robust ~lambda:1e-4 (make_problem ~sigmas (Lazy.force clean_data)))
+  in
+  check_true "estimate finite" (finite_estimate est);
+  check_true "sigma repair recorded"
+    (List.exists (fun r -> r.Robust.Report.count = 1) report.Robust.Report.repairs)
+
+let test_repair_disabled_reports_error () =
+  let poisoned =
+    Robust.Fault.apply (Robust.Fault.nan_at ~index:4 ()) (rng ()) (Lazy.force clean_data)
+  in
+  let policy = { Deconv.Solver.default_policy with Deconv.Solver.repair_inputs = false } in
+  expect_error_class
+    (Robust.Error.Non_finite { stage = "measurements" })
+    (Deconv.Solver.solve_robust ~policy ~lambda:1e-4 (make_problem poisoned))
+
+let test_degenerate_kernel_is_terminal () =
+  let k = Robust.Fault.apply (Robust.Fault.kernel_zero_row ~row:3 ()) (rng ()) (Lazy.force kernel) in
+  expect_error_class Robust.Error.Kernel_degenerate
+    (Deconv.Solver.solve_robust ~lambda:1e-4 (make_problem ~kernel:k (Lazy.force clean_data)))
+
+let test_stall_falls_back_to_unconstrained () =
+  let policy =
+    { Deconv.Solver.default_policy with Deconv.Solver.qp_max_iter = 1; max_retries = 1 }
+  in
+  let est, report =
+    expect_ok
+      (Deconv.Solver.solve_robust ~policy ~lambda:1e-4 (make_problem (Lazy.force clean_data)))
+  in
+  check_true "estimate finite" (finite_estimate est);
+  Alcotest.(check int) "degradation 2" 2 (degradation report);
+  check_true "solved by unconstrained" (solved_by report = Robust.Report.Unconstrained);
+  (* Both constrained attempts must be on record as stalls. *)
+  let stalls =
+    List.filter
+      (fun a ->
+        a.Robust.Report.stage = Robust.Report.Constrained_qp
+        &&
+        match a.Robust.Report.outcome with
+        | Error (Robust.Error.Qp_stalled _) -> true
+        | _ -> false)
+      report.Robust.Report.attempts
+  in
+  Alcotest.(check int) "two recorded stalls" 2 (List.length stalls);
+  (* The retry must have escalated both lambda and ridge. *)
+  (match
+     List.filter (fun a -> a.Robust.Report.stage = Robust.Report.Constrained_qp)
+       report.Robust.Report.attempts
+   with
+  | [ first; second ] ->
+    check_true "lambda boosted" (second.Robust.Report.lambda > first.Robust.Report.lambda);
+    check_true "ridge escalated" (second.Robust.Report.ridge > first.Robust.Report.ridge)
+  | _ -> Alcotest.fail "expected exactly two constrained attempts")
+
+let test_stall_falls_back_to_richardson_lucy () =
+  let policy =
+    {
+      Deconv.Solver.default_policy with
+      Deconv.Solver.qp_max_iter = 1;
+      max_retries = 0;
+      enable_unconstrained = false;
+    }
+  in
+  let est, report =
+    expect_ok
+      (Deconv.Solver.solve_robust ~policy ~lambda:1e-4 (make_problem (Lazy.force clean_data)))
+  in
+  check_true "estimate finite" (finite_estimate est);
+  Alcotest.(check int) "degradation 3" 3 (degradation report);
+  check_true "solved by RL" (solved_by report = Robust.Report.Richardson_lucy);
+  Array.iter
+    (fun v -> check_true "RL profile nonnegative" (v >= 0.0))
+    est.Deconv.Solver.profile;
+  (* RL on clean data should still roughly find the pulse. *)
+  let truth = Array.map pulse (Lazy.force kernel).Cellpop.Kernel.phases in
+  let c = Deconv.Metrics.compare ~truth ~estimate:est.Deconv.Solver.profile in
+  check_true "RL fallback recovers the shape" (c.Deconv.Metrics.correlation > 0.8)
+
+let test_everything_disabled_reports_last_error () =
+  let policy =
+    {
+      Deconv.Solver.default_policy with
+      Deconv.Solver.qp_max_iter = 1;
+      max_retries = 0;
+      enable_unconstrained = false;
+      enable_richardson_lucy = false;
+    }
+  in
+  expect_error_class
+    (Robust.Error.Qp_stalled { iterations = 0 })
+    (Deconv.Solver.solve_robust ~policy ~lambda:1e-4 (make_problem (Lazy.force clean_data)))
+
+let test_duplicate_time_kernel_recovered () =
+  let k =
+    Robust.Fault.apply (Robust.Fault.kernel_duplicate_time ~row:6 ()) (rng ()) (Lazy.force kernel)
+  in
+  let measurements =
+    Robust.Fault.apply (Robust.Fault.spike ~index:6 ~magnitude:0.5 ()) (rng ())
+      (Lazy.force clean_data)
+  in
+  match Deconv.Solver.solve_robust ~lambda:1e-6 (make_problem ~kernel:k measurements) with
+  | Ok (est, report) ->
+    check_true "estimate finite" (finite_estimate est);
+    check_true "report names the stage that solved it"
+      (String.length (Robust.Report.stage_name (solved_by report)) > 0)
+  | Error e ->
+    (* Catching it with a typed error is also acceptable — what is banned
+       is an escaped exception. *)
+    check_true "typed error" (Robust.Error.recoverable e || e = Robust.Error.Kernel_degenerate)
+
+let test_report_to_string () =
+  let policy =
+    { Deconv.Solver.default_policy with Deconv.Solver.qp_max_iter = 1; max_retries = 0 }
+  in
+  let _, report =
+    expect_ok
+      (Deconv.Solver.solve_robust ~policy ~lambda:1e-4 (make_problem (Lazy.force clean_data)))
+  in
+  let s = Robust.Report.to_string report in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "mentions the solving stage" (contains "unconstrained")
+
+(* ---------------- Pipeline end-to-end ---------------- *)
+
+let small_config =
+  {
+    (Deconv.Pipeline.default_config ~times) with
+    Deconv.Pipeline.n_cells_kernel = 1500;
+    n_cells_data = 1500;
+    n_phi = 101;
+    seed = 11;
+  }
+
+let test_pipeline_nan_poisoned_completes () =
+  let config =
+    {
+      small_config with
+      Deconv.Pipeline.measurement_fault = Some (Robust.Fault.nan_at ~index:5 ());
+    }
+  in
+  let run = Deconv.Pipeline.run config ~profile:pulse in
+  check_true "estimate finite" (finite_estimate run.Deconv.Pipeline.estimate);
+  check_true "repair on record"
+    (run.Deconv.Pipeline.report.Robust.Report.repairs <> []);
+  check_true "recovery still good"
+    (run.Deconv.Pipeline.recovery.Deconv.Metrics.correlation > 0.9)
+
+let test_pipeline_clean_reports_degradation_zero () =
+  let run = Deconv.Pipeline.run small_config ~profile:pulse in
+  Alcotest.(check int) "no degradation on clean data" 0
+    run.Deconv.Pipeline.report.Robust.Report.degradation
+
+(* ---------------- QP status satellite ---------------- *)
+
+let stall_problem () =
+  (* A QP with active inequalities that cannot converge in one step. *)
+  let h = Mat.of_rows [| [| 2.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let g = [| -2.0; -2.0 |] in
+  let a_ineq = Mat.of_rows [| [| -1.0; 0.0 |]; [| 0.0; -1.0 |] |] in
+  let b_ineq = [| -0.5; -0.5 |] in
+  {
+    Optimize.Qp.h;
+    g;
+    c_eq = None;
+    d_eq = None;
+    a_ineq = Some a_ineq;
+    b_ineq = Some b_ineq;
+  }
+
+let test_qp_stall_status () =
+  let s = Optimize.Qp.solve ~max_iter:1 ~fail_on_stall:false (stall_problem ()) in
+  check_true "reports stall" (s.Optimize.Qp.status = Optimize.Qp.Stalled);
+  Alcotest.(check int) "iteration count" 1 s.Optimize.Qp.iterations;
+  (match Optimize.Qp.solve ~max_iter:1 (stall_problem ()) with
+  | exception Optimize.Qp.Infeasible _ -> ()
+  | _ -> Alcotest.fail "default fail_on_stall should raise Infeasible");
+  let converged = Optimize.Qp.solve (stall_problem ()) in
+  check_true "converges with the full budget"
+    (converged.Optimize.Qp.status = Optimize.Qp.Converged)
+
+(* ---------------- Lambda guard satellite ---------------- *)
+
+let test_lambda_skips_non_finite_candidates () =
+  let problem = make_problem (Lazy.force clean_data) in
+  let lambdas = [| Float.nan; 1e-5; Float.infinity; 1e-3; -1.0 |] in
+  let lambda = Deconv.Lambda.select problem ~method_:`Gcv ~lambdas () in
+  check_true "winner from the finite candidates" (lambda = 1e-5 || lambda = 1e-3)
+
+let test_lambda_all_non_finite () =
+  let problem = make_problem (Lazy.force clean_data) in
+  let lambdas = [| Float.nan; Float.infinity; -1.0 |] in
+  expect_error_class
+    (Robust.Error.Non_finite { stage = "" })
+    (Deconv.Lambda.select_result problem ~method_:`Gcv ~lambdas ());
+  expect_error_class
+    (Robust.Error.Invalid_input { field = "lambda"; why = "" })
+    (Deconv.Lambda.select_result problem ~method_:(`Fixed Float.nan) ());
+  (match Deconv.Lambda.select problem ~method_:`Lcurve ~lambdas () with
+  | exception Robust.Error.Error (Robust.Error.Non_finite _) -> ()
+  | _ -> Alcotest.fail "raising form should raise the typed error")
+
+let test_lambda_result_matches_select () =
+  let problem = make_problem (Lazy.force clean_data) in
+  let a = Deconv.Lambda.select problem ~method_:`Gcv () in
+  let b = expect_ok (Deconv.Lambda.select_result problem ~method_:`Gcv ()) in
+  check_close ~tol:0.0 "select and select_result agree" a b
+
+(* ---------------- CSV error satellite ---------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let with_temp_csv contents f =
+  let path = Filename.temp_file "robust_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path contents;
+      f path)
+
+let test_csv_reports_line_and_column () =
+  with_temp_csv "minutes,g\n0,1.5\n15,oops\n30,2.5\n" (fun path ->
+      match Dataio.Csv.read_result ~path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error e ->
+        Alcotest.(check int) "line of the bad field" 3 e.Dataio.Csv.line;
+        Alcotest.(check int) "column of the bad field" 2 e.Dataio.Csv.column;
+        check_true "message mentions the token"
+          (String.length (Dataio.Csv.error_to_string e) > 0))
+
+let test_csv_ragged_row () =
+  with_temp_csv "minutes,g\n0,1.5\n15,2.0,extra\n" (fun path ->
+      match Dataio.Csv.read_result ~path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error e ->
+        Alcotest.(check int) "ragged line" 3 e.Dataio.Csv.line;
+        Alcotest.(check int) "column past the expected width" 3 e.Dataio.Csv.column)
+
+let test_csv_raising_form () =
+  with_temp_csv "a,b\n1,2\nx,4\n" (fun path ->
+      match Dataio.Csv.read ~path with
+      | exception Dataio.Csv.Parse_error e ->
+        Alcotest.(check int) "same error as the result form" 3 e.Dataio.Csv.line
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let expect_csv_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected CSV error: %s" (Dataio.Csv.error_to_string e)
+
+let test_datasets_load_measurements () =
+  with_temp_csv "minutes,g,sigma\n30,3.0,0.3\n0,1.0,0.1\n15,2.0,0.2\n" (fun path ->
+      let t, g, s = expect_csv_ok (Dataio.Datasets.load_measurements ~path) in
+      check_vec ~tol:0.0 "sorted by time" [| 0.0; 15.0; 30.0 |] t;
+      check_vec ~tol:0.0 "g reordered with times" [| 1.0; 2.0; 3.0 |] g;
+      check_vec ~tol:0.0 "sigma reordered with times" [| 0.1; 0.2; 0.3 |] (Option.get s))
+
+let test_datasets_wrong_columns () =
+  with_temp_csv "a\n1\n2\n" (fun path ->
+      match Dataio.Datasets.load_measurements ~path with
+      | Ok _ -> Alcotest.fail "expected an error for a 1-column file"
+      | Error _ -> ())
+
+let test_table_of_csv () =
+  with_temp_csv "minutes,g\n0,1.5\n15,2.5\n" (fun path ->
+      match Dataio.Table.of_csv ~path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unexpected error: %s" (Dataio.Csv.error_to_string e))
+
+let tests =
+  [
+    ( "robust-errors",
+      [
+        case "to_string total" test_error_strings;
+        case "equal and same_class" test_error_classes;
+        case "recoverable classification" test_error_recoverable;
+        case "validate times" test_validate_times;
+        case "validate sigmas" test_validate_sigmas;
+        case "validate clean kernel" test_validate_kernel_clean;
+        case "validate faulty kernels" test_validate_kernel_faults;
+        case "problem validate" test_problem_validate;
+      ] );
+    ( "robust-faults",
+      [
+        case "injectors are pure" test_faults_pure;
+        case "nan and inf injection" test_fault_nan_inf;
+        case "shuffle permutes" test_fault_shuffle;
+        case "spike scales with data" test_fault_spike;
+        case "compose" test_fault_compose;
+        case "duplicate time point" test_fault_duplicate_time;
+      ] );
+    ( "robust-solver",
+      [
+        case "clean path matches solve" test_clean_matches_solve;
+        prop_clean_equals_solve;
+        case "nan measurement repaired" test_nan_measurement_repaired;
+        case "zero sigma repaired" test_zero_sigma_repaired;
+        case "repair disabled -> typed error" test_repair_disabled_reports_error;
+        case "degenerate kernel -> typed error" test_degenerate_kernel_is_terminal;
+        case "stall -> unconstrained fallback" test_stall_falls_back_to_unconstrained;
+        case "stall -> Richardson-Lucy fallback" test_stall_falls_back_to_richardson_lucy;
+        case "no fallback -> last error" test_everything_disabled_reports_last_error;
+        case "duplicated time point survives" test_duplicate_time_kernel_recovered;
+        case "report rendering" test_report_to_string;
+        case "qp stall status" test_qp_stall_status;
+      ] );
+    ( "robust-pipeline",
+      [
+        case "nan-poisoned run completes" test_pipeline_nan_poisoned_completes;
+        case "clean run reports degradation 0" test_pipeline_clean_reports_degradation_zero;
+      ] );
+    ( "robust-lambda",
+      [
+        case "skips non-finite candidates" test_lambda_skips_non_finite_candidates;
+        case "all non-finite -> typed error" test_lambda_all_non_finite;
+        case "select_result agrees with select" test_lambda_result_matches_select;
+      ] );
+    ( "robust-csv",
+      [
+        case "line and column reported" test_csv_reports_line_and_column;
+        case "ragged row located" test_csv_ragged_row;
+        case "raising form carries the error" test_csv_raising_form;
+        case "load_measurements sorts" test_datasets_load_measurements;
+        case "wrong column count" test_datasets_wrong_columns;
+        case "table from csv" test_table_of_csv;
+      ] );
+  ]
