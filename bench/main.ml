@@ -57,7 +57,7 @@ let fig1_phase_model () =
   in
   Dataio.Table.add_row t [| 0.15; Stats.mean phi_ssts; 0.13; Stats.cv phi_ssts |];
   Dataio.Table.add_row t [| 150.0; Stats.mean cycles; 0.10; Stats.cv cycles |];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   (* The phase axis of Fig. 1: the expected fraction of the cycle spent in
      the SW stage is E[phi_sst] = 0.15. *)
   let sw_fraction = Stats.mean phi_ssts in
@@ -90,7 +90,7 @@ let run_lv ~noise ~seed species_name profile =
       ~headers:[ "minutes"; "population" ]
   in
   Dataio.Table.add_rows t1 [ run.Deconv.Pipeline.config.Deconv.Pipeline.times; run.Deconv.Pipeline.noisy ];
-  Dataio.Table.print t1;
+  Dataio.Table.output stdout t1;
   (* Single-cell truth vs deconvolved over one cycle (minutes = phi * 150). *)
   let minutes, deconvolved = Deconv.Pipeline.deconvolved_vs_minutes run in
   let minutes_s, deconvolved_s = curve_rows ~stride:10 minutes deconvolved in
@@ -101,7 +101,7 @@ let run_lv ~noise ~seed species_name profile =
       ~headers:[ "minutes"; "single_cell"; "deconvolved" ]
   in
   Dataio.Table.add_rows t2 [ minutes_s; truth_s; deconvolved_s ];
-  Dataio.Table.print t2;
+  Dataio.Table.output stdout t2;
   Printf.printf "%s recovery: %s (lambda=%.3g)\n" species_name
     (Deconv.Metrics.to_string run.Deconv.Pipeline.recovery)
     run.Deconv.Pipeline.lambda;
@@ -161,7 +161,7 @@ let fig4_cell_types () =
     in
     Dataio.Table.add_rows t
       [ times; Mat.col f 0; Mat.col f 1; Mat.col f 2; Mat.col f 3 ];
-    Dataio.Table.print t;
+    Dataio.Table.output stdout t;
     f
   in
   ignore (print_for "low" Cellpop.Celltype.low_boundaries);
@@ -176,7 +176,7 @@ let fig4_cell_types () =
       times; Dataio.Datasets.judd_sw; Dataio.Datasets.judd_ste; Dataio.Datasets.judd_stepd;
       Dataio.Datasets.judd_stlpd;
     ];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   (* Shape agreement: max absolute deviation per cell type (mid boundaries). *)
   let dev j data =
     let sim = Mat.col mid j in
@@ -206,7 +206,7 @@ let fig5_ftsz () =
       ~headers:[ "minutes"; "population" ]
   in
   Dataio.Table.add_rows t1 [ times; run.Deconv.Pipeline.noisy ];
-  Dataio.Table.print t1;
+  Dataio.Table.output stdout t1;
   let minutes, deconvolved = Deconv.Pipeline.deconvolved_vs_minutes run in
   let m_s, d_s = curve_rows ~stride:10 minutes deconvolved in
   let _, truth_s = curve_rows ~stride:10 minutes run.Deconv.Pipeline.truth in
@@ -215,7 +215,7 @@ let fig5_ftsz () =
       ~headers:[ "sim_minutes"; "deconvolved"; "single_cell_truth" ]
   in
   Dataio.Table.add_rows t2 [ m_s; d_s; truth_s ];
-  Dataio.Table.print t2;
+  Dataio.Table.output stdout t2;
   let g = run.Deconv.Pipeline.noisy in
   let phases = run.Deconv.Pipeline.phases in
   let estimate = run.Deconv.Pipeline.estimate.Deconv.Solver.profile in
@@ -268,7 +268,7 @@ let abl_volume_model () =
   row 0.15 1.0 smooth_2011;
   row 0.15 0.0 linear_2011;
   row 0.25 0.0 full_2009;
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   (* How different are the kernels themselves? *)
   let kernel_l1 (a : Cellpop.Kernel.t) (b : Cellpop.Kernel.t) =
     let diff = Mat.sub a.Cellpop.Kernel.q b.Cellpop.Kernel.q in
@@ -321,7 +321,7 @@ let abl_constraints () =
              Vec.min r.Deconv.Pipeline.estimate.Deconv.Solver.profile |])
       [ (false, false, false); (true, false, false); (true, true, false); (true, false, true);
         (true, true, true) ];
-    Dataio.Table.print t
+    Dataio.Table.output stdout t
   in
   (* LV x2 is periodic, so it mildly VIOLATES the division-conservation
      assumption f(1) = 0.4 f(0) + 0.6 f(phi_sst); ftsZ satisfies it. The two
@@ -347,7 +347,7 @@ let ext_noise_sweep () =
     (fun (type_id, make_noise) ->
       List.iter
         (fun level ->
-          let noise = if level = 0.0 then Deconv.Noise.No_noise else make_noise level in
+          let noise = if Float.equal level 0.0 then Deconv.Noise.No_noise else make_noise level in
           let config =
             { (base_config ~times:lv_times) with Deconv.Pipeline.noise; seed = 8 }
           in
@@ -361,7 +361,7 @@ let ext_noise_sweep () =
       (0.0, fun level -> Deconv.Noise.Gaussian_fraction level);
       (1.0, fun level -> Deconv.Noise.Multiplicative_lognormal level);
     ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: lambda selection study (sec 2.3, Craven-Wahba).          *)
@@ -390,7 +390,7 @@ let ext_lambda_selection () =
   Dataio.Table.add_rows t
     [ lambdas; Array.map (fun (p : Deconv.Lambda.curve_point) -> p.Deconv.Lambda.score) curve;
       oracle_rmse ];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   let oracle_best = lambdas.(Vec.argmin oracle_rmse) in
   Printf.printf "GCV-chosen lambda: %.3g; oracle lambda: %.3g (same order expected)\n" gcv_best
     oracle_best;
@@ -407,7 +407,7 @@ let ext_lambda_selection () =
       let lambda = Deconv.Lambda.select problem ~method_ ~rng:(Rng.create 99) ~lambdas () in
       Dataio.Table.add_row t_m [| float_of_int i; lambda; rmse_at lambda |])
     [ `Gcv; `Kfold 5; `Lcurve ];
-  Dataio.Table.print t_m;
+  Dataio.Table.output stdout t_m;
   (* Knot-count sweep at the GCV lambda. *)
   let t2 = Dataio.Table.create ~title:"knot-count sweep (GCV lambda per size)"
       ~headers:[ "num_knots"; "rmse"; "corr" ] in
@@ -419,7 +419,7 @@ let ext_lambda_selection () =
         [| float_of_int num_knots; r.Deconv.Pipeline.recovery.Deconv.Metrics.rmse;
            r.Deconv.Pipeline.recovery.Deconv.Metrics.correlation |])
     [ 6; 8; 10; 12; 16; 20 ];
-  Dataio.Table.print t2
+  Dataio.Table.output stdout t2
 
 (* ------------------------------------------------------------------ *)
 (* Extension: parameter estimation (sec 5 ongoing work).               *)
@@ -498,7 +498,7 @@ let ext_param_estimation () =
   Array.iteri
     (fun i v -> Dataio.Table.add_row t [| float_of_int i; v; fitted_dec.(i); fitted_pop.(i) |])
     true_params;
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   let mean_rel fitted =
     let acc = ref 0.0 in
     Array.iteri (fun i v -> acc := !acc +. (Float.abs (fitted.(i) -. v) /. v)) true_params;
@@ -538,7 +538,7 @@ let abl_kernel_estimator () =
       let l1s = Array.init 5 (l1_vs_analytic mc) in
       Dataio.Table.add_row t [| float_of_int n_cells; Vec.mean l1s; Vec.max l1s |])
     [ 250; 1000; 4000; 16000 ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: intrinsic single-cell noise (Gillespie cells).           *)
@@ -610,7 +610,7 @@ let ext_intrinsic_noise () =
       Dataio.Table.add_row t
         [| volume; intrinsic_cv; recovery.Deconv.Metrics.rmse; recovery.Deconv.Metrics.correlation |])
     [ 1000.0; 300.0; 100.0; 30.0 ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: identifiability (how ill-posed is the inversion?).       *)
@@ -647,7 +647,7 @@ let ext_identifiability () =
           report.Deconv.Identifiability.condition;
         |])
     reports;
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   let _, full = reports.(2) in
   Printf.printf "singular values (13 measurements): %s\n"
     (String.concat " "
@@ -678,7 +678,7 @@ let ext_synchrony () =
   (match series with
   | [ a; b; c ] -> Dataio.Table.add_rows t [ times; a; b; c ]
   | _ -> assert false);
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   List.iteri
     (fun i r ->
       let cv = List.nth [ 0.05; 0.10; 0.20 ] i in
@@ -701,7 +701,7 @@ let ext_baseline_rl () =
   List.iter
     (fun level ->
       let noise =
-        if level = 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
+        if Float.equal level 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
       in
       let config = { (base_config ~times:lv_times) with Deconv.Pipeline.noise; seed = 16 } in
       let run = Deconv.Pipeline.run config ~profile:f1 in
@@ -719,7 +719,7 @@ let ext_baseline_rl () =
         [| 100.0 *. level; spline_rmse; rl 100; rl 1000;
            Stats.rmse truth naive.Deconv.Solver.profile |])
     [ 0.0; 0.05; 0.10 ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: bootstrap uncertainty bands.                             *)
@@ -751,7 +751,7 @@ let ext_bootstrap () =
            run.Deconv.Pipeline.estimate.Deconv.Solver.profile.(j);
            bands.Deconv.Bootstrap.upper.(j); run.Deconv.Pipeline.truth.(j) |]
   done;
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf "mean band width: %.4f; truth coverage: %.2f (sampling-only bands,\n\
                  smoothing bias excluded -- see Deconv.Bootstrap doc)\n"
     (Vec.mean (Deconv.Bootstrap.width bands))
@@ -814,7 +814,7 @@ let ext_regulon () =
            float_of_int predicted.(i);
            Stats.correlation truth estimates.(i).Deconv.Solver.profile |])
     genes;
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf "classification accuracy: %d/%d\n" !correct (Array.length genes)
 
 (* ------------------------------------------------------------------ *)
@@ -855,7 +855,7 @@ let abl_basis () =
           (1.0, Spline.Bspline.create ~lo:0.0 ~hi:1.0 ~num_basis:size);
         ])
     [ 8; 12; 16 ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: population growth vs branching-process theory.           *)
@@ -880,7 +880,7 @@ let ext_growth () =
       Dataio.Table.add_row t
         [| mu_sst; predicted; measured; log 2.0 /. predicted; measured /. predicted |])
     [ 0.05; 0.15; 0.25 ];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf
     "(stalked daughters skip the swarmer stage, so the population doubles faster than the\n\
     \ 150-minute cycle; the larger mu_sst, the bigger the shortcut)\n"
@@ -900,7 +900,7 @@ let abl_representation () =
   List.iter
     (fun level ->
       let noise =
-        if level = 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
+        if Float.equal level 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
       in
       let config = { (base_config ~times:lv_times) with Deconv.Pipeline.noise; seed = 28 } in
       let run = Deconv.Pipeline.run config ~profile:f1 in
@@ -925,7 +925,7 @@ let abl_representation () =
       in
       Dataio.Table.add_row t [| 100.0 *. level; best_spline; best_grid; 12.0; 201.0 |])
     [ 0.0; 0.10 ];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf
     "(both regularize to similar accuracy; the spline carries the conservation/rate\n\
     \ constraints naturally and solves a 12-variable QP instead of a 201-variable one)\n"
@@ -957,7 +957,7 @@ let ext_kernel_budget () =
       in
       Dataio.Table.add_row t [| float_of_int cells; Stats.mean rmses; Stats.std rmses |])
     [ 250; 1000; 4000; 16000 ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: characterizing the asynchrony from observable data.      *)
@@ -985,7 +985,7 @@ let ext_calibration () =
   Dataio.Table.add_row t [| 0.0; 0.15; fp.Cellpop.Params.mu_sst |];
   Dataio.Table.add_row t [| 1.0; 180.0; fp.Cellpop.Params.mean_cycle_minutes |];
   Dataio.Table.add_row t [| 2.0; 0.18; fp.Cellpop.Params.cv_cycle |];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf "objective %.2e in %d simulator evaluations\n"
     fitted.Cellpop.Calibrate.objective_value fitted.Cellpop.Calibrate.evaluations;
   (* Characterize the Judd et al. culture. *)
@@ -1014,7 +1014,7 @@ let ext_dna_content () =
       ~headers:[ "minutes"; "1C"; "S_phase"; "2C" ]
   in
   Dataio.Table.add_rows t [ times; Mat.col f 0; Mat.col f 1; Mat.col f 2 ];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf
     "(all-1C at t=0 because replication initiates at the SW->ST transition; S-phase\n\
     \ sweeps through, then 2C accumulates until divisions reset cells to 1C)\n";
@@ -1093,7 +1093,7 @@ let ext_condition_transfer () =
   Dataio.Table.add_row t
     [| 1.0; mismatched.Deconv.Pipeline.recovery.Deconv.Metrics.rmse;
        mismatched.Deconv.Pipeline.recovery.Deconv.Metrics.correlation; delay mismatched |];
-  Dataio.Table.print t;
+  Dataio.Table.output stdout t;
   Printf.printf
     "=> re-characterizing the asynchrony per condition (sec 1) is necessary and sufficient\n"
 
@@ -1185,7 +1185,7 @@ let ext_protein () =
         [| phases.(j); run.Deconv.Pipeline.truth.(j);
            run.Deconv.Pipeline.estimate.Deconv.Solver.profile.(j); protein_from_deconv.(j) |]
   done;
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: other oscillator families.                               *)
@@ -1224,7 +1224,7 @@ let ext_other_oscillators () =
   deconvolve_profile 2.0
     (Biomodels.Repressilator.phase_profile ~species:1 Biomodels.Repressilator.default_params
        ~x0:Biomodels.Repressilator.default_x0 ~n_phi:400);
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: Monte-Carlo recovery study over random profiles.         *)
@@ -1239,7 +1239,7 @@ let ext_recovery_study () =
   List.iter
     (fun level ->
       let noise =
-        if level = 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
+        if Float.equal level 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
       in
       let config =
         { (base_config ~times:lv_times) with
@@ -1257,7 +1257,7 @@ let ext_recovery_study () =
         [| 100.0 *. level; s.Deconv.Study.median_rmse; s.Deconv.Study.median_correlation;
            s.Deconv.Study.worst_correlation; 100.0 *. s.Deconv.Study.fraction_above_09 |])
     [ 0.0; 0.10 ];
-  Dataio.Table.print t
+  Dataio.Table.output stdout t
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the computational kernels.             *)
@@ -1405,7 +1405,9 @@ let sections =
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let requested =
+    match Array.to_list Sys.argv with [] -> [] | _exe :: args -> args
+  in
   let to_run =
     if requested = [] then sections
     else

@@ -1,0 +1,67 @@
+(* deconv-lint: numerical-safety static analysis for the deconvolution
+   codebase. Parses every .ml/.mli under the given paths with
+   compiler-libs and enforces the rule registry of Analysis.Rules.
+
+   Exit codes: 0 clean, 1 findings, 2 usage/IO/parse errors. *)
+
+let usage =
+  "deconv-lint [--json] [--disable RULE]... [--list-rules] [PATH]...\n\
+   Lints .ml/.mli files (recursively for directories). With no PATH,\n\
+   lints lib bin bench test. Suppress a finding in source with\n\
+   '(* lint: allow R_ — reason *)' on, or just above, the offending line.\n\
+   Options:"
+
+let () =
+  let json = ref false in
+  let list_rules = ref false in
+  let disabled = ref [] in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array on stdout");
+      ( "--disable",
+        Arg.String (fun r -> disabled := r :: !disabled),
+        "RULE disable a rule id for this run (repeatable)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Analysis.Rules.t) ->
+        let scope =
+          match r.Analysis.Rules.scope with
+          | Analysis.Rules.Everywhere -> "everywhere"
+          | Analysis.Rules.Lib_only -> "lib/ only"
+        in
+        Printf.printf "%s (%s; %s)\n    %s\n" r.Analysis.Rules.id r.Analysis.Rules.title
+          scope r.Analysis.Rules.description)
+      Analysis.Rules.all;
+    exit 0
+  end;
+  let unknown =
+    List.filter (fun r -> Option.is_none (Analysis.Rules.normalize_id r)) !disabled
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "deconv-lint: unknown rule id(s) in --disable: %s\n"
+      (String.concat ", " unknown);
+    exit 2
+  end;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+  in
+  let result = Analysis.Lint.run ~disabled:!disabled paths in
+  List.iter
+    (fun (path, msg) ->
+      if String.equal path "" then Printf.eprintf "deconv-lint: %s\n" msg
+      else Printf.eprintf "deconv-lint: %s: %s\n" path msg)
+    result.Analysis.Lint.errors;
+  if result.Analysis.Lint.errors <> [] then exit 2;
+  let findings = result.Analysis.Lint.findings in
+  if !json then print_endline (Analysis.Finding.list_to_json findings)
+  else begin
+    List.iter (fun f -> print_endline (Analysis.Finding.to_text f)) findings;
+    Printf.eprintf "deconv-lint: %d finding(s) in %d file(s)\n" (List.length findings)
+      result.Analysis.Lint.files
+  end;
+  exit (if findings = [] then 0 else 1)

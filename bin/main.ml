@@ -113,7 +113,7 @@ let simulate profile_name times seed cells phi_bins mu_sst cycle linear noise ou
     let t = Dataio.Table.create ~title:"simulated population data"
         ~headers:[ "minutes"; "g"; "sigma" ] in
     Dataio.Table.add_rows t [ times; noisy; sigmas ];
-    Dataio.Table.print t);
+    Dataio.Table.output stdout t);
   0
 
 let simulate_cmd =
@@ -248,7 +248,7 @@ let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos
     Printf.printf "wrote deconvolved profile (%d points) to %s\n"
       (Array.length kernel.Cellpop.Kernel.phases) path
   | None ->
-    Dataio.Ascii_plot.print ~title:"deconvolved single-cell profile"
+    Dataio.Ascii_plot.output stdout ~title:"deconvolved single-cell profile"
       ([
          { Dataio.Ascii_plot.label = "f(phi), minutes axis"; glyph = 'o'; xs = minutes;
            ys = estimate.Deconv.Solver.profile };
@@ -344,7 +344,7 @@ let celltypes_cmd =
         ~headers:[ "minutes"; "SW"; "STE"; "STEPD"; "STLPD" ]
     in
     Dataio.Table.add_rows t [ times; Mat.col f 0; Mat.col f 1; Mat.col f 2; Mat.col f 3 ];
-    Dataio.Table.print t;
+    Dataio.Table.output stdout t;
     0
   in
   let term =

@@ -37,7 +37,7 @@ let () =
     (fun j label ->
       let sim = Mat.col mid j in
       let data = List.nth experimental j in
-      Dataio.Ascii_plot.print ~height:12
+      Dataio.Ascii_plot.output stdout ~height:12
         ~title:(Printf.sprintf "%s fraction: simulated (o) vs Judd et al. (x)" label)
         [
           { Dataio.Ascii_plot.label = "simulated (mid boundaries)"; glyph = 'o'; xs = times;

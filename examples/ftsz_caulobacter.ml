@@ -25,14 +25,14 @@ let () =
   let run = Deconv.Pipeline.run config ~profile:Biomodels.Ftsz.profile in
 
   Printf.printf "ftsZ deconvolution (paper Fig. 5)\n\n";
-  Dataio.Ascii_plot.print ~title:"population ftsZ expression G(t) -- what the microarray sees"
+  Dataio.Ascii_plot.output stdout ~title:"population ftsZ expression G(t) -- what the microarray sees"
     [
       { Dataio.Ascii_plot.label = "population"; glyph = '#'; xs = times;
         ys = run.Deconv.Pipeline.noisy };
     ];
   print_newline ();
   let minutes, deconvolved = Deconv.Pipeline.deconvolved_vs_minutes run in
-  Dataio.Ascii_plot.print
+  Dataio.Ascii_plot.output stdout
     ~title:"deconvolved (o) vs true single-cell (*) ftsZ expression, simulated minutes"
     [
       { Dataio.Ascii_plot.label = "single-cell truth"; glyph = '*'; xs = minutes;

@@ -39,7 +39,7 @@ let () =
       Printf.printf "%s: lambda=%.3g, recovery %s\n" name run.Deconv.Pipeline.lambda
         (Deconv.Metrics.to_string run.Deconv.Pipeline.recovery);
       let minutes = Array.map (fun phi -> phi *. 150.0) run.Deconv.Pipeline.phases in
-      Dataio.Ascii_plot.print
+      Dataio.Ascii_plot.output stdout
         ~title:(Printf.sprintf "%s: single cell (*) vs deconvolved (o) vs population (#)" name)
         [
           { Dataio.Ascii_plot.label = name ^ " single cell"; glyph = '*'; xs = minutes;

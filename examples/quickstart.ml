@@ -44,7 +44,7 @@ let () =
     run.Deconv.Pipeline.recovery.Deconv.Metrics.correlation;
 
   (* 4. Plot truth vs estimate over phase. *)
-  Dataio.Ascii_plot.print ~title:"single-cell profile: truth (*) vs deconvolved (o)"
+  Dataio.Ascii_plot.output stdout ~title:"single-cell profile: truth (*) vs deconvolved (o)"
     [
       { Dataio.Ascii_plot.label = "truth f(phi)"; glyph = '*';
         xs = run.Deconv.Pipeline.phases; ys = run.Deconv.Pipeline.truth };
@@ -53,7 +53,7 @@ let () =
         ys = run.Deconv.Pipeline.estimate.Deconv.Solver.profile };
     ];
   print_newline ();
-  Dataio.Ascii_plot.print ~title:"population-level data G(t) (what a microarray sees)"
+  Dataio.Ascii_plot.output stdout ~title:"population-level data G(t) (what a microarray sees)"
     [
       { Dataio.Ascii_plot.label = "population G(t), minutes"; glyph = '#';
         xs = run.Deconv.Pipeline.config.Deconv.Pipeline.times;

@@ -96,7 +96,7 @@ let () =
   Printf.printf "lambda = %.3g\n" lambda;
   Printf.printf "recovery of the ensemble-mean single-cell profile: %s\n"
     (Deconv.Metrics.to_string recovery);
-  Dataio.Ascii_plot.print
+  Dataio.Ascii_plot.output stdout
     ~title:"ensemble mean (*) vs deconvolved (o) with stochastic single cells"
     [
       { Dataio.Ascii_plot.label = "ensemble-mean truth"; glyph = '*'; xs = phase_grid;

@@ -1,0 +1,58 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  hint : string;
+}
+
+let make ~file ~loc ~rule ~message ~hint =
+  let pos = loc.Location.loc_start in
+  {
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol + 1;
+    rule;
+    message;
+    hint;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s] %s. hint: %s" f.file f.line f.col f.rule f.message f.hint
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\"}"
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)
+    (json_escape f.hint)
+
+let list_to_json findings =
+  match findings with
+  | [] -> "[]"
+  | fs -> "[\n  " ^ String.concat ",\n  " (List.map to_json fs) ^ "\n]"

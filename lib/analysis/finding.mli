@@ -1,0 +1,27 @@
+(** A single linter diagnostic: where, which rule, what to do about it. *)
+
+type t = {
+  file : string;  (** path as given to the linter *)
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  rule : string;  (** rule id, e.g. ["R1"] *)
+  message : string;  (** what is wrong at this site *)
+  hint : string;  (** suggested fix *)
+}
+
+val make :
+  file:string -> loc:Location.t -> rule:string -> message:string -> hint:string -> t
+(** Build a finding anchored at the start of [loc]. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, then rule id (deterministic output). *)
+
+val to_text : t -> string
+(** [file:line:col: [rule] message. hint: ...] — one line, no trailing
+    newline. *)
+
+val to_json : t -> string
+(** A single JSON object with fields file/line/col/rule/message/hint. *)
+
+val list_to_json : t list -> string
+(** A JSON array of {!to_json} objects. *)

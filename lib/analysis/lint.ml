@@ -1,0 +1,439 @@
+open Parsetree
+open Longident
+
+type run_result = {
+  findings : Finding.t list;
+  files : int;
+  errors : (string * string) list;
+}
+
+(* ---------------- path scoping ---------------- *)
+
+let segments path =
+  String.split_on_char '/' path
+  |> List.filter (fun s -> not (String.equal s "") && not (String.equal s "."))
+
+let in_lib path =
+  match List.rev (segments path) with
+  | _file :: dirs -> List.exists (String.equal "lib") dirs
+  | [] -> false
+
+let is_params_file path =
+  in_lib path
+  &&
+  match List.rev (segments path) with
+  | file :: dir :: _ -> String.equal file "params.ml" && String.equal dir "cellpop"
+  | _ -> false
+
+(* ---------------- rule implementations ---------------- *)
+
+(* The paper constants of rule R4: phi_sst ~ N(0.15, (0.13*0.15)^2), the
+   40/60 SW/ST daughter-volume split of eq. 11, and the 150-minute mean
+   cycle time. A list literal, so the linter's own data-table exemption
+   covers this table when it lints itself. *)
+let magic_constants = [ 0.15; 0.13; 0.4; 0.6; 150.0 ]
+
+let is_magic v = List.exists (fun c -> Float.equal c v) magic_constants
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let float_funs =
+  [
+    "sqrt"; "exp"; "log"; "log10"; "expm1"; "log1p"; "sin"; "cos"; "tan"; "asin"; "acos";
+    "atan"; "atan2"; "sinh"; "cosh"; "tanh"; "float_of_int"; "float_of_string"; "abs_float";
+    "mod_float"; "ceil"; "floor"; "copysign"; "ldexp";
+  ]
+
+let ident_of e = match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+(* Does an expression syntactically look float-valued? A heuristic: the
+   type checker is not available here, so we only claim float-ness for
+   float literals, float arithmetic, Float.* calls and float-returning
+   stdlib functions. *)
+let rec looks_float e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+    true
+  | Pexp_apply (f, _) -> (
+    match ident_of f with
+    | Some (Lident op) when List.exists (String.equal op) float_ops -> true
+    | Some (Lident fn) when List.exists (String.equal fn) float_funs -> true
+    | Some (Ldot (Lident "Float", fn)) ->
+      (* Float.to_int, Float.compare etc. return non-floats; anything else
+         from Float is float-valued. *)
+      not
+        (List.exists (String.equal fn)
+           [ "to_int"; "compare"; "equal"; "is_nan"; "is_finite"; "is_integer"; "to_string" ])
+    | _ -> false)
+  | Pexp_ifthenelse (_, e1, Some e2) -> looks_float e1 || looks_float e2
+  | _ -> false
+
+(* R5 ident sets. *)
+let r5_plain =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
+    "print_float"; "print_bytes"; "prerr_string"; "prerr_endline"; "prerr_newline";
+    "prerr_char"; "prerr_int"; "prerr_float"; "prerr_bytes"; "stdout"; "stderr";
+  ]
+
+let r5_printf = [ "printf"; "eprintf" ]
+
+let r5_format =
+  [
+    "printf"; "eprintf"; "print_string"; "print_char"; "print_int"; "print_float";
+    "print_newline"; "print_space"; "print_cut"; "print_flush"; "std_formatter";
+    "err_formatter";
+  ]
+
+(* R6: expressions that syntactically carry a result value. *)
+let resulty e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Lident ("Ok" | "Error"); _ }, Some _) -> true
+  | Pexp_apply (f, _) -> (
+    match ident_of f with
+    | Some lid ->
+      let rec parts = function
+        | Longident.Lident s -> [ s ]
+        | Longident.Ldot (l, s) -> parts l @ [ s ]
+        | Longident.Lapply _ -> []
+      in
+      let ps = parts lid in
+      let last = match List.rev ps with s :: _ -> s | [] -> "" in
+      let contains_result s =
+        let n = String.length s and m = String.length "result" in
+        let rec go i =
+          i + m <= n && (String.equal (String.sub s i m) "result" || go (i + 1))
+        in
+        go 0
+      in
+      List.exists (String.equal "Result") ps
+      || contains_result (String.lowercase_ascii last)
+      || List.exists (String.equal last) [ "validate"; "solve_robust" ]
+    | None -> false)
+  | _ -> false
+
+type catch_all = Not_catch_all | Wildcard | Var of string
+
+let rec classify_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any -> Wildcard
+  | Ppat_var v -> Var v.Location.txt
+  | Ppat_alias (inner, v) -> (
+    match classify_catch_all inner with
+    | Not_catch_all -> Not_catch_all
+    | _ -> Var v.Location.txt)
+  | Ppat_or (a, b) -> (
+    match classify_catch_all a with Not_catch_all -> classify_catch_all b | r -> r)
+  | Ppat_constraint (inner, _) -> classify_catch_all inner
+  | _ -> Not_catch_all
+
+let reraises_var var body =
+  let found = ref false in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      match ident_of f with
+      | Some (Lident ("raise" | "raise_notrace"))
+      | Some (Ldot (Lident "Printexc", "raise_with_backtrace")) -> (
+        match args with
+        | (_, { pexp_desc = Pexp_ident { txt = Lident v; _ }; _ }) :: _
+          when String.equal v var ->
+          found := true
+        | _ -> ())
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  !found
+
+(* ---------------- the walker ---------------- *)
+
+type ctx = {
+  path : string;
+  lib : bool;
+  params : bool;
+  mutable in_data : bool;  (* inside an array/list literal (data table) *)
+  mutable acc : Finding.t list;
+}
+
+let report ctx ~loc ~rule ~message ~hint =
+  ctx.acc <- Finding.make ~file:ctx.path ~loc ~rule ~message ~hint :: ctx.acc
+
+let check_r1 ctx f args =
+  let flag op suggestion =
+    match args with
+    | (_, a) :: (_, b) :: _ when looks_float a || looks_float b ->
+      report ctx ~loc:f.pexp_loc ~rule:"R1"
+        ~message:(Printf.sprintf "polymorphic '%s' on float operands is NaN-unsafe" op)
+        ~hint:suggestion
+    | _ -> ()
+  in
+  match ident_of f with
+  | Some (Lident ("=" as op)) | Some (Ldot (Lident "Stdlib", ("=" as op))) ->
+    flag op "use Float.equal, or an explicit tolerance comparison"
+  | Some (Lident ("<>" as op)) | Some (Ldot (Lident "Stdlib", ("<>" as op))) ->
+    flag op "use 'not (Float.equal ...)', or an explicit tolerance comparison"
+  | Some (Lident ("compare" as op)) | Some (Ldot (Lident "Stdlib", ("compare" as op))) ->
+    flag op "use Float.compare"
+  | Some (Lident (("min" | "max") as op)) | Some (Ldot (Lident "Stdlib", (("min" | "max") as op)))
+    ->
+    flag op (Printf.sprintf "use Float.%s, which handles NaN explicitly" op)
+  | _ -> ()
+
+let check_r2_case ctx case =
+  match case.pc_guard with
+  | Some _ -> () (* a guarded handler lets unmatched exceptions fall through *)
+  | None -> (
+    let inner_pat p =
+      match p.ppat_desc with Ppat_exception inner -> Some inner | _ -> None
+    in
+    let pat =
+      match inner_pat case.pc_lhs with Some inner -> inner | None -> case.pc_lhs
+    in
+    match classify_catch_all pat with
+    | Not_catch_all -> ()
+    | Wildcard ->
+      report ctx ~loc:pat.ppat_loc ~rule:"R2"
+        ~message:
+          "catch-all exception handler 'with _ ->' swallows typed errors \
+           (Robust.Error) and programming errors alike"
+        ~hint:"match the specific exceptions this expression can raise; re-raise the rest"
+    | Var v ->
+      if not (reraises_var v case.pc_rhs) then
+        report ctx ~loc:pat.ppat_loc ~rule:"R2"
+          ~message:
+            (Printf.sprintf
+               "exception handler binds '%s' but never re-raises it: a catch-all that \
+                discards the exception"
+               v)
+          ~hint:"handle the specific exceptions and 'raise' the others")
+
+let check_r3 ctx f args =
+  match ident_of f with
+  | Some (Ldot (Lident "List", (("hd" | "tl") as fn))) ->
+    report ctx ~loc:f.pexp_loc ~rule:"R3"
+      ~message:(Printf.sprintf "List.%s raises on the empty list" fn)
+      ~hint:"pattern-match on the list (| [] -> ... | x :: rest -> ...)"
+  | Some (Ldot (Lident "Option", "get")) ->
+    report ctx ~loc:f.pexp_loc ~rule:"R3"
+      ~message:"Option.get raises on None"
+      ~hint:"pattern-match, or use Option.value ~default / Option.fold"
+  | Some (Ldot (Lident "Array", "get")) -> (
+    match args with
+    | (_, { pexp_desc = Pexp_array _; _ }) :: _ ->
+      report ctx ~loc:f.pexp_loc ~rule:"R3"
+        ~message:"indexing an array literal can raise Invalid_argument at runtime"
+        ~hint:"bind the literal to a name and bounds-check, or match on it"
+    | _ -> ())
+  | _ -> ()
+
+let check_r4 ctx e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float (repr, None)) when ctx.lib && (not ctx.params) && not ctx.in_data
+    -> (
+    match float_of_string_opt repr with
+    | Some v when is_magic v ->
+      report ctx ~loc:e.pexp_loc ~rule:"R4"
+        ~message:
+          (Printf.sprintf
+             "magic paper constant %s outside lib/cellpop/params.ml" repr)
+        ~hint:
+          "reference the named constant in Cellpop.Params (e.g. sw_volume_fraction, \
+           st_volume_fraction, paper_2011) so the value lives in exactly one place"
+    | _ -> ())
+  | _ -> ()
+
+let check_r5_ident ctx e =
+  if ctx.lib then
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident name; _ } when List.exists (String.equal name) r5_plain ->
+      report ctx ~loc:e.pexp_loc ~rule:"R5"
+        ~message:(Printf.sprintf "'%s' writes to the process's std channels from library code" name)
+        ~hint:
+          "return a string, or take an explicit out_channel / Format.formatter argument"
+    | Pexp_ident { txt = Ldot (Lident "Printf", fn); _ } when List.exists (String.equal fn) r5_printf
+      ->
+      report ctx ~loc:e.pexp_loc ~rule:"R5"
+        ~message:(Printf.sprintf "Printf.%s writes to std channels from library code" fn)
+        ~hint:"use Printf.sprintf to build a string, or Printf.fprintf on an explicit channel"
+    | Pexp_ident { txt = Ldot (Lident "Format", fn); _ } when List.exists (String.equal fn) r5_format
+      ->
+      report ctx ~loc:e.pexp_loc ~rule:"R5"
+        ~message:(Printf.sprintf "Format.%s targets the std formatters from library code" fn)
+        ~hint:"take an explicit Format.formatter argument (Fmt style) instead"
+    | _ -> ()
+
+let check_r6 ctx f args =
+  let is_ignore e =
+    match ident_of e with
+    | Some (Lident "ignore") | Some (Ldot (Lident "Stdlib", "ignore")) -> true
+    | _ -> false
+  in
+  let flag loc arg =
+    if resulty arg then
+      report ctx ~loc ~rule:"R6"
+        ~message:"'ignore' discards an expression that carries a result value"
+        ~hint:"match on Ok/Error (or log the Robust.Error) instead of dropping it"
+  in
+  if is_ignore f then
+    match args with [ (_, arg) ] -> flag f.pexp_loc arg | _ -> ()
+  else
+    match (ident_of f, args) with
+    | Some (Lident "@@"), [ (_, lhs); (_, arg) ] when is_ignore lhs -> flag lhs.pexp_loc arg
+    | Some (Lident "|>"), [ (_, arg); (_, rhs) ] when is_ignore rhs -> flag rhs.pexp_loc arg
+    | _ -> ()
+
+let make_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) ->
+      check_r1 ctx f args;
+      check_r3 ctx f args;
+      check_r6 ctx f args
+    | Pexp_try (_, cases) -> if ctx.lib then List.iter (check_r2_case ctx) cases
+    | Pexp_match (_, cases) ->
+      if ctx.lib then
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_exception _ -> check_r2_case ctx c
+            | _ -> ())
+          cases
+    | _ -> ());
+    check_r4 ctx e;
+    check_r5_ident ctx e;
+    match e.pexp_desc with
+    | Pexp_array _ | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
+      let saved = ctx.in_data in
+      ctx.in_data <- true;
+      default.expr self e;
+      ctx.in_data <- saved
+    | _ -> default.expr self e
+  in
+  { default with expr }
+
+(* ---------------- driver ---------------- *)
+
+let parse_kind path =
+  if Filename.check_suffix path ".mli" then `Interface
+  else if Filename.check_suffix path ".ml" then `Implementation
+  else `Other
+
+let walk_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match parse_kind path with
+  | `Other -> Error (Printf.sprintf "%s: not an OCaml source file" path)
+  | `Interface -> (
+    (* Interfaces carry no expressions; parse for syntax errors only. *)
+    match Parse.interface lexbuf with
+    | (_ : signature) -> Ok []
+    (* lint: allow R2 — the parser raises several exception types
+       (Syntaxerr.Error, Lexer.Error, ...); any of them means exactly
+       "this buffer does not parse", which is what we report *)
+    | exception exn -> Error (Printf.sprintf "%s: parse error (%s)" path (Printexc.to_string exn))
+    )
+  | `Implementation -> (
+    match Parse.implementation lexbuf with
+    | str ->
+      let ctx =
+        {
+          path;
+          lib = in_lib path;
+          params = is_params_file path;
+          in_data = false;
+          acc = [];
+        }
+      in
+      let it = make_iterator ctx in
+      it.Ast_iterator.structure it str;
+      Ok ctx.acc
+    (* lint: allow R2 — same as above: any parser exception is by
+       definition a parse error for this file *)
+    | exception exn -> Error (Printf.sprintf "%s: parse error (%s)" path (Printexc.to_string exn))
+    )
+
+let lint_source ?(disabled = []) ~path source =
+  let disabled = List.filter_map Rules.normalize_id disabled in
+  let off rule = List.exists (String.equal rule) disabled in
+  match walk_source ~path source with
+  | Error _ as e -> e
+  | Ok raw ->
+    let supps, bad = Suppress.scan source in
+    let malformed =
+      List.map
+        (fun (m : Suppress.malformed) ->
+          {
+            Finding.file = path;
+            line = m.Suppress.line;
+            col = 1;
+            rule = "R0";
+            message = m.Suppress.why;
+            hint = "write '(* lint: allow <rule-id> — <reason> *)'";
+          })
+        bad
+    in
+    let keep (f : Finding.t) =
+      (not (off f.Finding.rule))
+      && not
+           (List.exists
+              (fun s -> Suppress.covers s ~rule:f.Finding.rule ~line:f.Finding.line)
+              supps)
+    in
+    Ok (List.sort Finding.compare (List.filter keep (raw @ malformed)))
+
+let lint_file ?disabled ?as_path path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source ->
+    let logical = match as_path with Some p -> p | None -> path in
+    lint_source ?disabled ~path:logical source
+  | exception Sys_error msg -> Error msg
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let skip_dir name =
+  String.equal name "_build"
+  || (String.length name > 0 && Char.equal name.[0] '.')
+
+let collect_files paths =
+  let rec walk acc path =
+    match acc with
+    | Error _ -> acc
+    | Ok files -> (
+      match Sys.is_directory path with
+      | true ->
+        Sys.readdir path |> Array.to_list
+        |> List.sort String.compare
+        |> List.fold_left
+             (fun acc name ->
+               if skip_dir name then acc else walk acc (Filename.concat path name))
+             (Ok files)
+      | false -> if is_source path then Ok (path :: files) else Ok files
+      | exception Sys_error msg -> Error msg)
+  in
+  match List.fold_left walk (Ok []) paths with
+  | Error _ as e -> e
+  | Ok files -> Ok (List.sort String.compare files)
+
+let run ?(disabled = []) paths =
+  match collect_files paths with
+  | Error msg -> { findings = []; files = 0; errors = [ ("", msg) ] }
+  | Ok files ->
+    let findings, errors =
+      List.fold_left
+        (fun (fs, errs) file ->
+          match lint_file ~disabled file with
+          | Ok found -> (fs @ found, errs)
+          | Error msg -> (fs, (file, msg) :: errs))
+        ([], []) files
+    in
+    {
+      findings = List.sort Finding.compare findings;
+      files = List.length files;
+      errors = List.rev errors;
+    }

@@ -1,0 +1,39 @@
+(** deconv-lint: parse OCaml sources with compiler-libs and enforce the
+    numerical-safety rules of {!Rules}.
+
+    Scoping is path-based: a file is "library code" (rules R2/R4/R5 apply)
+    when a [lib] path segment appears among its parent directories, and
+    [lib/cellpop/params.ml] is the one file where the paper constants of
+    rule R4 may appear as literals. *)
+
+type run_result = {
+  findings : Finding.t list;  (** sorted by file/line/col *)
+  files : int;  (** number of [.ml]/[.mli] files linted *)
+  errors : (string * string) list;  (** (path, message): unreadable/unparsable *)
+}
+
+val in_lib : string -> bool
+(** Path-based scoping used for [Lib_only] rules. *)
+
+val is_params_file : string -> bool
+(** Is this the canonical constants file ([lib/cellpop/params.ml])? *)
+
+val lint_source :
+  ?disabled:string list -> path:string -> string -> (Finding.t list, string) result
+(** Lint one source buffer. [path] is the logical path used for scoping and
+    reporting; it must end in [.ml] or [.mli] (interfaces are parsed for
+    syntax only — the rules are expression-level). [disabled] rule ids are
+    dropped from the output. [Error] means the buffer failed to parse. *)
+
+val lint_file :
+  ?disabled:string list -> ?as_path:string -> string -> (Finding.t list, string) result
+(** Read and lint a file on disk. [as_path] overrides the logical path used
+    for scoping/reporting (used by tests that lint temp files as if they
+    lived under [lib/]). *)
+
+val collect_files : string list -> (string list, string) result
+(** Expand files/directories into a sorted list of [.ml]/[.mli] paths,
+    skipping [_build] and dot-directories. [Error] on an unreadable path. *)
+
+val run : ?disabled:string list -> string list -> run_result
+(** Lint every source file under the given paths. *)

@@ -1,0 +1,91 @@
+type scope = Everywhere | Lib_only
+
+type t = { id : string; title : string; scope : scope; description : string }
+
+let all =
+  [
+    {
+      id = "R0";
+      title = "malformed suppression";
+      scope = Everywhere;
+      description =
+        "A '(* lint: allow ... *)' comment that names no known rule or gives no \
+         reason. Suppressions must state why the rule does not apply — silent \
+         rule disabling is itself a finding.";
+    };
+    {
+      id = "R1";
+      title = "NaN-unsafe float comparison";
+      scope = Everywhere;
+      description =
+        "Polymorphic =, <>, compare, min or max applied to float-looking \
+         operands. Polymorphic equality is false for NaN = NaN and the \
+         polymorphic min/max silently propagate or drop NaN depending on \
+         argument order; deconvolution residuals and condition numbers can be \
+         NaN. Use Float.equal / Float.compare / Float.min / Float.max or an \
+         explicit tolerance.";
+    };
+    {
+      id = "R2";
+      title = "catch-all exception handler";
+      scope = Lib_only;
+      description =
+        "'try ... with _ ->' (or a variable pattern that never re-raises) in \
+         library code. Catch-alls swallow typed Robust.Error propagation and \
+         programming errors (Assert_failure, Invalid_argument) alike. Match \
+         the specific exceptions and re-raise the rest.";
+    };
+    {
+      id = "R3";
+      title = "unguarded partial access";
+      scope = Everywhere;
+      description =
+        "List.hd, List.tl or Option.get (which raise on empty input), or \
+         Array.get applied to an array literal. Pattern-match instead so the \
+         empty case is handled explicitly.";
+    };
+    {
+      id = "R4";
+      title = "magic paper constant";
+      scope = Lib_only;
+      description =
+        "A float literal equal to one of the paper's parameters (phi_sst mean \
+         0.15, CV 0.13, the 40/60 SW/ST daughter-volume split, the 150-minute \
+         mean cycle) outside lib/cellpop/params.ml. Literals inside array/list \
+         data tables are exempt (digitized figure data). Reference the named \
+         constant in Params instead, so eq. 11 and the conservation \
+         constraints can never drift apart. (CV_cycle = 0.1 is deliberately \
+         not in the set: the value is too generic to lint without drowning in \
+         tolerance literals.)";
+    };
+    {
+      id = "R5";
+      title = "stdout/stderr side effect in library code";
+      scope = Lib_only;
+      description =
+        "print_string / Printf.printf / prerr_* / Format.printf or a bare \
+         stdout/stderr channel in lib/. Library code must return strings or \
+         write to an explicit out_channel/formatter supplied by the caller; \
+         only bin/ and bench/ own the process's channels.";
+    };
+    {
+      id = "R6";
+      title = "ignored result value";
+      scope = Everywhere;
+      description =
+        "'ignore' applied to an expression that syntactically carries a \
+         result (an Ok/Error construction, a Result.* call, or a call to a \
+         *_result / validate / solve_robust function). Discarding these drops \
+         typed Robust.Error values on the floor; match on the result or log \
+         the error.";
+    };
+  ]
+
+let normalize_id id =
+  let up = String.uppercase_ascii (String.trim id) in
+  if List.exists (fun r -> String.equal r.id up) all then Some up else None
+
+let find id =
+  match normalize_id id with
+  | None -> None
+  | Some up -> List.find_opt (fun r -> String.equal r.id up) all

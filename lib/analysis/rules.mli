@@ -1,0 +1,24 @@
+(** The registry of numerical-safety rules enforced by deconv-lint.
+
+    Rule ids are stable strings ("R0".."R6") used in findings, in
+    [--disable] flags and in suppression comments. *)
+
+type scope =
+  | Everywhere  (** enforced in every linted file *)
+  | Lib_only  (** enforced only for files under a [lib/] directory *)
+
+type t = {
+  id : string;
+  title : string;  (** short label for listings *)
+  scope : scope;
+  description : string;  (** what it catches and why it matters *)
+}
+
+val all : t list
+(** Every rule, in id order. *)
+
+val find : string -> t option
+(** Lookup by id, case-insensitive. *)
+
+val normalize_id : string -> string option
+(** ["r4"] -> [Some "R4"]; [None] for unknown ids. *)

@@ -1,0 +1,160 @@
+type t = { rules : string list; reason : string; first_line : int; last_line : int }
+
+type malformed = { line : int; why : string }
+
+let marker = "lint: allow"
+
+let starts_with source i needle =
+  let n = String.length needle in
+  i + n <= String.length source && String.equal (String.sub source i n) needle
+
+let index_from_opt source pos needle =
+  let len = String.length source in
+  let rec go i = if i >= len then None else if starts_with source i needle then Some i else go (i + 1) in
+  go pos
+
+let is_sep tok =
+  List.exists (String.equal tok)
+    [ "\xe2\x80\x94" (* em dash *); "\xe2\x80\x93" (* en dash *); "--"; "-"; ":" ]
+
+let split_tokens body =
+  String.split_on_char ' '
+    (String.map (fun c -> match c with '\n' | '\r' | '\t' | ',' | ';' -> ' ' | c -> c) body)
+  |> List.filter (fun s -> not (String.equal s ""))
+
+(* Split the comment body into (rule ids, reason). *)
+let parse_body body =
+  let rec take_rules acc = function
+    | tok :: rest -> (
+      match Rules.normalize_id tok with
+      | Some id -> take_rules (id :: acc) rest
+      | None -> (List.rev acc, tok :: rest))
+    | [] -> (List.rev acc, [])
+  in
+  let rules, rest = take_rules [] (split_tokens body) in
+  let reason =
+    match rest with
+    | sep :: more when is_sep sep -> String.concat " " more
+    | more -> String.concat " " more
+  in
+  (rules, String.trim reason)
+
+(* A lightweight lexer over the raw source so the marker is only
+   recognized inside comments — never inside string or char literals
+   (which is where the linter's own documentation of the syntax lives). *)
+let scan source =
+  let len = String.length source in
+  let supps = ref [] and bad = ref [] in
+  let line = ref 1 in
+  let count_lines from upto =
+    for k = from to upto - 1 do
+      if k < len && Char.equal source.[k] '\n' then incr line
+    done
+  in
+  (* Skip a string literal starting at the opening quote; returns the
+     position just past the closing quote. *)
+  let skip_string i =
+    let j = ref (i + 1) in
+    let finished = ref false in
+    while (not !finished) && !j < len do
+      (match source.[!j] with
+      | '\\' ->
+        (* Skip the escaped character too; an escaped newline (string
+           continuation) still ends a physical line. *)
+        if !j + 1 < len && Char.equal source.[!j + 1] '\n' then incr line;
+        incr j
+      | '"' -> finished := true
+      | '\n' -> incr line
+      | _ -> ());
+      incr j
+    done;
+    !j
+  in
+  (* Skip a quoted-string literal {id| ... |id}; [i] points at '{'.
+     Returns [None] if this is not actually a quoted string. *)
+  let skip_quoted_string i =
+    let j = ref (i + 1) in
+    while
+      !j < len
+      && (match source.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < len && Char.equal source.[!j] '|' then begin
+      let id = String.sub source (i + 1) (!j - (i + 1)) in
+      let closing = "|" ^ id ^ "}" in
+      match index_from_opt source (!j + 1) closing with
+      | Some close ->
+        count_lines i (close + String.length closing);
+        Some (close + String.length closing)
+      | None -> Some len
+    end
+    else None
+  in
+  let handle_marker i =
+    let after = i + String.length marker in
+    match index_from_opt source after "*)" with
+    | None ->
+      bad := { line = !line; why = "unterminated suppression comment" } :: !bad;
+      after
+    | Some close ->
+      let body = String.sub source after (close - after) in
+      let rules, reason = parse_body body in
+      let first_line = !line in
+      count_lines i close;
+      (if List.length rules = 0 then
+         bad := { line = first_line; why = "suppression names no known rule id" } :: !bad
+       else if String.equal reason "" then
+         bad :=
+           {
+             line = first_line;
+             why = "suppression gives no reason (use '(* lint: allow R_ -- why *)')";
+           }
+           :: !bad
+       else
+         supps := { rules; reason; first_line; last_line = !line } :: !supps);
+      close + 2
+  in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < len do
+    let c = source.[!i] in
+    if Char.equal c '\n' then begin
+      incr line;
+      incr i
+    end
+    else if Char.equal c '"' then i := skip_string !i
+    else if starts_with source !i "(*" then begin
+      incr depth;
+      i := !i + 2
+    end
+    else if starts_with source !i "*)" then begin
+      if !depth > 0 then decr depth;
+      i := !i + 2
+    end
+    else if !depth > 0 then
+      if starts_with source !i marker then begin
+        i := handle_marker !i;
+        (* handle_marker consumed through the closing delimiter *)
+        if !depth > 0 then decr depth
+      end
+      else incr i
+    else if Char.equal c '{' then begin
+      match skip_quoted_string !i with Some j -> i := j | None -> incr i
+    end
+    else if Char.equal c '\'' then
+      (* Char literal or type variable: treat '\..' and 'x' as literals so
+         '"' does not open a string; anything else is a type variable. *)
+      if !i + 1 < len && Char.equal source.[!i + 1] '\\' then begin
+        match index_from_opt source (!i + 2) "'" with
+        | Some close when close - !i <= 6 -> i := close + 1
+        | _ -> incr i
+      end
+      else if !i + 2 < len && Char.equal source.[!i + 2] '\'' then i := !i + 3
+      else incr i
+    else incr i
+  done;
+  (List.rev !supps, List.rev !bad)
+
+let covers t ~rule ~line =
+  List.exists (String.equal rule) t.rules && line >= t.first_line && line <= t.last_line + 1

@@ -1,0 +1,26 @@
+(** Per-site suppression comments.
+
+    Syntax: [(* lint: allow R2 — justification *)] (also accepted: [-], [--]
+    or [:] as the separator, and several comma/space-separated rule ids).
+    A suppression silences the named rules on every line the comment spans
+    and on the line immediately following it, so both trailing same-line
+    comments and comment-above style work.
+
+    A suppression without a recognizable rule id or without a non-empty
+    reason is {e malformed}: it suppresses nothing and is reported as an
+    [R0] finding — there is no silent rule disabling. *)
+
+type t = {
+  rules : string list;  (** normalized rule ids *)
+  reason : string;
+  first_line : int;  (** line the marker appears on (1-based) *)
+  last_line : int;  (** line of the comment's closing delimiter *)
+}
+
+type malformed = { line : int; why : string }
+
+val scan : string -> t list * malformed list
+(** Find every suppression comment in a source buffer. *)
+
+val covers : t -> rule:string -> line:int -> bool
+(** Does this suppression silence [rule] for a finding on [line]? *)

@@ -1,6 +1,12 @@
 open Numerics
 
+(* lint: allow R4 -- Kelly et al. (1998) ftsZ transcription-onset delay, an
+   independent biological observation that only coincidentally equals the
+   swarmer volume fraction *)
 let transcription_onset = 0.15
+
+(* lint: allow R4 -- Fig. 5 deconvolved ftsZ peak phase; coincidentally equal
+   to the swarmer volume-split value, not derived from it *)
 let peak_phase = 0.4
 
 (* Control points chosen so that: expression is exactly 0 through the

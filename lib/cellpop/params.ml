@@ -14,6 +14,15 @@ type t = {
   initial_condition : initial_condition;
 }
 
+(* Daughter-volume split at division (paper eqs. 6–8, Thanbichler &
+   Shapiro 2006): the swarmer daughter receives 40 % of the predivisional
+   volume, the stalked daughter the remaining 60 %. Every other occurrence
+   of the 0.4/0.6 split in the codebase must reference these two names —
+   the deconv-lint magic-number rule (R4) enforces it; this file is the
+   rule's single allowed definition site. *)
+let sw_volume_fraction = 0.4
+let st_volume_fraction = 0.6
+
 let paper_2011 =
   {
     mu_sst = 0.15;

@@ -22,6 +22,13 @@ type t = {
   initial_condition : initial_condition;
 }
 
+val sw_volume_fraction : float
+(** Fraction of the predivisional volume inherited by the swarmer daughter
+    (0.4, paper eqs. 6–8). The only allowed literal site is [Params]. *)
+
+val st_volume_fraction : float
+(** Fraction inherited by the stalked daughter (0.6 = 1 − 0.4). *)
+
 val paper_2011 : t
 (** The updated model of this paper: μ_sst = 0.15, CV 0.13, 150-minute mean
     cycle, smooth volume model. *)

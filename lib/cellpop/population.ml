@@ -87,4 +87,4 @@ let mean_signal params f s =
       num := !num +. (v *. f ~phi:c.Cell.phase);
       den := !den +. v)
     s.cells;
-  if !den = 0.0 then 0.0 else !num /. !den
+  if Float.equal !den 0.0 then 0.0 else !num /. !den

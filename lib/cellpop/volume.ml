@@ -2,37 +2,52 @@ let check phi_sst phi =
   assert (phi_sst > 0.0 && phi_sst < 1.0);
   assert (phi >= 0.0 && phi <= 1.0 +. 1e-9)
 
+(* Shorthands for the daughter-volume split; [Params] is the canonical
+   definition site of the 0.4/0.6 fractions (paper eqs. 6–8). *)
+let sw = Params.sw_volume_fraction
+let st = Params.st_volume_fraction
+
+(* Slope of the stalked-phase linear segment: the volume grows by the
+   remaining (1 − st)·v0 over the final (1 − φ_sst) of the cycle. *)
+let stalked_slope ~phi_sst = (1.0 -. st) /. (1.0 -. phi_sst)
+
 let linear ~v0 ~phi_sst phi =
   check phi_sst phi;
-  if phi < phi_sst then v0 *. (0.4 +. (0.2 *. phi /. phi_sst))
-  else v0 *. (0.6 +. (0.4 *. (phi -. phi_sst) /. (1.0 -. phi_sst)))
+  if phi < phi_sst then v0 *. (sw +. ((st -. sw) *. phi /. phi_sst))
+  else v0 *. (st +. ((1.0 -. st) *. (phi -. phi_sst) /. (1.0 -. phi_sst)))
 
 let linear_deriv ~v0 ~phi_sst phi =
   check phi_sst phi;
-  if phi < phi_sst then v0 *. 0.2 /. phi_sst else v0 *. 0.4 /. (1.0 -. phi_sst)
+  if phi < phi_sst then v0 *. (st -. sw) /. phi_sst
+  else v0 *. stalked_slope ~phi_sst
 
-(* Paper eq. 11. *)
+(* Paper eq. 11: a cubic on [0, φ_sst] pinned by v(0) = sw·v0,
+   v(φ_sst) = st·v0 and rate continuity v'(0) = v'(φ_sst) = β (the
+   stalked-segment slope), followed by the linear stalked segment. *)
+let smooth_cubic_coeffs ~phi_sst =
+  let s = phi_sst in
+  let beta = stalked_slope ~phi_sst in
+  (* Solve sw + β·s + c2·s² + c3·s³ = st with 2·c2·s + 3·c3·s² = 0. *)
+  let delta = (st -. sw) -. (beta *. s) in
+  let c2 = 3.0 *. delta /. (s *. s) in
+  let c3 = -2.0 *. delta /. (s *. s *. s) in
+  (beta, c2, c3)
+
 let smooth ~v0 ~phi_sst phi =
   check phi_sst phi;
-  let s = phi_sst in
-  if phi < s then begin
-    let c1 = 0.4 /. (1.0 -. s) in
-    let c2 = (0.6 -. (1.8 *. s)) /. ((1.0 -. s) *. s *. s) in
-    let c3 = ((1.2 *. s) -. 0.4) /. ((1.0 -. s) *. s *. s *. s) in
-    v0 *. (0.4 +. (c1 *. phi) +. (c2 *. phi *. phi) +. (c3 *. phi *. phi *. phi))
+  if phi < phi_sst then begin
+    let c1, c2, c3 = smooth_cubic_coeffs ~phi_sst in
+    v0 *. (sw +. (c1 *. phi) +. (c2 *. phi *. phi) +. (c3 *. phi *. phi *. phi))
   end
-  else v0 *. (1.0 -. (0.4 /. (1.0 -. s)) +. (0.4 /. (1.0 -. s) *. phi))
+  else v0 *. (1.0 +. (stalked_slope ~phi_sst *. (phi -. 1.0)))
 
 let smooth_deriv ~v0 ~phi_sst phi =
   check phi_sst phi;
-  let s = phi_sst in
-  if phi < s then begin
-    let c1 = 0.4 /. (1.0 -. s) in
-    let c2 = (0.6 -. (1.8 *. s)) /. ((1.0 -. s) *. s *. s) in
-    let c3 = ((1.2 *. s) -. 0.4) /. ((1.0 -. s) *. s *. s *. s) in
+  if phi < phi_sst then begin
+    let c1, c2, c3 = smooth_cubic_coeffs ~phi_sst in
     v0 *. (c1 +. (2.0 *. c2 *. phi) +. (3.0 *. c3 *. phi *. phi))
   end
-  else v0 *. 0.4 /. (1.0 -. s)
+  else v0 *. stalked_slope ~phi_sst
 
 let eval (p : Params.t) ~phi_sst phi =
   match p.volume_model with
@@ -44,4 +59,4 @@ let deriv (p : Params.t) ~phi_sst phi =
   | Params.Linear -> linear_deriv ~v0:p.v0 ~phi_sst phi
   | Params.Smooth -> smooth_deriv ~v0:p.v0 ~phi_sst phi
 
-let beta ~phi_sst = 0.4 /. (1.0 -. phi_sst)
+let beta ~phi_sst = stalked_slope ~phi_sst

@@ -16,24 +16,30 @@ let density_integral (params : Cellpop.Params.t) h =
     (fun phi -> h phi *. Cellpop.Params.sst_density params phi)
     ~a ~b ~n:quadrature_panels
 
-let beta phi = 0.4 /. (1.0 -. phi)
+(* Relative growth rate of the stalked segment: the (1 − st) = 0.4 of the
+   final volume still to be grown, spread over the remaining phase. *)
+let beta phi = (1.0 -. Cellpop.Params.st_volume_fraction) /. (1.0 -. phi)
 
 let beta0 params = density_integral params beta
 
 let conservation_row params (basis : Spline.Basis.t) =
+  let sw = Cellpop.Params.sw_volume_fraction in
+  let st = Cellpop.Params.st_volume_fraction in
   Array.init basis.Spline.Basis.size (fun i ->
       let psi = basis.Spline.Basis.eval i in
-      psi 1.0 -. (0.4 *. psi 0.0) -. (0.6 *. density_integral params psi))
+      psi 1.0 -. (sw *. psi 0.0) -. (st *. density_integral params psi))
 
 let rate_continuity_row params (basis : Spline.Basis.t) =
+  let sw = Cellpop.Params.sw_volume_fraction in
+  let st = Cellpop.Params.st_volume_fraction in
   let b0 = beta0 params in
   Array.init basis.Spline.Basis.size (fun i ->
       let psi = basis.Spline.Basis.eval i in
       let psi' = basis.Spline.Basis.deriv i in
       (b0 *. psi 1.0) -. (b0 *. psi 0.0)
       -. density_integral params (fun phi -> beta phi *. psi phi)
-      -. (0.4 *. psi' 0.0)
-      -. (0.6 *. density_integral params psi')
+      -. (sw *. psi' 0.0)
+      -. (st *. density_integral params psi')
       +. psi' 1.0)
 
 let positivity_rows basis ~grid = Spline.Basis.design basis grid

@@ -131,7 +131,7 @@ let lcurve problem ~lambdas =
       let d01 = Float.hypot (x1 -. x0) (y1 -. y0) in
       let d12 = Float.hypot (x2 -. x1) (y2 -. y1) in
       let d02 = Float.hypot (x2 -. x0) (y2 -. y0) in
-      if d01 < min_segment || d12 < min_segment || d02 = 0.0 then 0.0
+      if d01 < min_segment || d12 < min_segment || Float.equal d02 0.0 then 0.0
       else 2.0 *. Float.abs area2 /. (d01 *. d12 *. d02)
     | _ -> 0.0
   in

@@ -24,4 +24,4 @@ let to_string c =
 let improvement_factor ~truth ~baseline ~estimate =
   let baseline_rmse = Stats.rmse truth baseline in
   let estimate_rmse = Stats.rmse truth estimate in
-  if estimate_rmse = 0.0 then Float.infinity else baseline_rmse /. estimate_rmse
+  if Float.equal estimate_rmse 0.0 then Float.infinity else baseline_rmse /. estimate_rmse

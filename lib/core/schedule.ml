@@ -17,7 +17,7 @@ let log_det_information design ~rows ~ridge =
     (fun r ->
       let row = Mat.row design r in
       for i = 0 to n - 1 do
-        if row.(i) <> 0.0 then
+        if not (Float.equal row.(i) 0.0) then
           for j = 0 to n - 1 do
             Mat.set info i j (Mat.get info i j +. (row.(i) *. row.(j)))
           done

@@ -154,7 +154,7 @@ let repair_problem problem =
   let good_sigma s = Float.is_finite s && s > 0.0 in
   let replacement =
     let good = List.filter good_sigma (Array.to_list sig_) in
-    match List.sort compare good with
+    match List.sort Float.compare good with
     | [] -> 1.0
     | sorted -> List.nth sorted (List.length sorted / 2)
   in
@@ -244,7 +244,13 @@ let solve_robust_validated ~policy ~lambda problem =
         ~weights:(Problem.weights problem) ~penalty:(Problem.penalty problem) ~lambda
     in
     let h_scale = Float.max 1e-300 (Mat.max_abs normal) in
-    let condition = (try Some (Linalg.condition_spd normal) with _ -> None) in
+    (* Only [Linalg.Singular] means "no usable estimate"; anything else
+       (e.g. a non-square matrix) is a programming error and propagates. *)
+    let condition =
+      match Linalg.condition_spd normal with
+      | c -> Some c
+      | exception Linalg.Singular _ -> None
+    in
     let precondition_ridge =
       match condition with
       | Some c when c > policy.condition_limit -> policy.ridge_floor *. h_scale
@@ -296,7 +302,8 @@ let solve_robust_validated ~policy ~lambda problem =
         if finite_estimate est then begin
           record Robust.Report.Constrained_qp lam ridge t0 (Ok ());
           let degradation =
-            if !k = 0 && (not repaired) && precondition_ridge = 0.0 then 0 else 1
+            if !k = 0 && (not repaired) && Float.equal precondition_ridge 0.0 then 0
+            else 1
           in
           result := Some (est, report Robust.Report.Constrained_qp degradation)
         end
@@ -345,6 +352,8 @@ let solve_robust_validated ~policy ~lambda problem =
         Richardson_lucy.deconvolve ~iterations:policy.rl_iterations problem.Problem.kernel
           ~measurements ()
       with
+      (* lint: allow R2 — last cascade stage: any failure must become a typed
+         error for the report; there is no later stage to re-raise to *)
       | exception _ ->
         let e = Robust.Error.Non_finite { stage = "Richardson-Lucy" } in
         record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);

@@ -51,4 +51,5 @@ let render ?(width = 72) ?(height = 20) ?title series =
     Buffer.contents buf
   end
 
-let print ?width ?height ?title series = print_string (render ?width ?height ?title series)
+let output ?width ?height ?title oc series =
+  output_string oc (render ?width ?height ?title series)

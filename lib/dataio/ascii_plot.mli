@@ -11,4 +11,6 @@ val render :
     y-axis labels on the left, and a legend line per series. Later series
     draw over earlier ones where they collide. *)
 
-val print : ?width:int -> ?height:int -> ?title:string -> series list -> unit
+val output : ?width:int -> ?height:int -> ?title:string -> out_channel -> series list -> unit
+(** Write the rendered plot to an explicit channel (library code never
+    writes to [stdout] implicitly — lint rule R5). *)

@@ -46,7 +46,7 @@ let to_string ?(precision = 4) t =
     cells;
   Buffer.contents buf
 
-let print ?precision t = print_string (to_string ?precision t)
+let output ?precision oc t = output_string oc (to_string ?precision t)
 
 let of_csv ~path =
   match Csv.read_result ~path with

@@ -8,6 +8,8 @@ type raw = {
   control_spots : int;
 }
 
+(* lint: allow R4 -- default per-array scale coefficient of variation for the
+   synthetic microarray model; coincidentally equal to the swarmer fraction *)
 let simulate ?(replicates = 3) ?(array_scale_cv = 0.15) ?(control_spots = 8) rng ~gene_names
     ~times ~true_signals =
   let genes, n_times = Mat.dims true_signals in

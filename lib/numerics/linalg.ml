@@ -24,11 +24,11 @@ let lu_factor a =
       sign := -. !sign
     end;
     let pivot = Mat.get lu k k in
-    if pivot = 0.0 then raise (Singular "lu_factor: zero pivot");
+    if Float.equal pivot 0.0 then raise (Singular "lu_factor: zero pivot");
     for i = k + 1 to n - 1 do
       let factor = Mat.get lu i k /. pivot in
       Mat.set lu i k factor;
-      if factor <> 0.0 then
+      if not (Float.equal factor 0.0) then
         for j = k + 1 to n - 1 do
           Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
         done
@@ -149,7 +149,7 @@ let qr_lstsq a b =
       norm := !norm +. (v *. v)
     done;
     let norm = sqrt !norm in
-    if norm = 0.0 then raise (Singular "qr_lstsq: rank-deficient column");
+    if Float.equal norm 0.0 then raise (Singular "qr_lstsq: rank-deficient column");
     let alpha = if Mat.get r k k > 0.0 then -.norm else norm in
     (* Householder vector v stored implicitly: v_k = r_kk - alpha, v_i = r_ik. *)
     let vk = Mat.get r k k -. alpha in
@@ -186,7 +186,7 @@ let qr_lstsq a b =
       acc := !acc -. (Mat.get r i j *. x.(j))
     done;
     let rii = Mat.get r i i in
-    if rii = 0.0 then raise (Singular "qr_lstsq: zero diagonal in R");
+    if Float.equal rii 0.0 then raise (Singular "qr_lstsq: zero diagonal in R");
     x.(i) <- !acc /. rii
   done;
   x

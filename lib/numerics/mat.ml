@@ -67,7 +67,7 @@ let matmul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
-      if aik <> 0.0 then begin
+      if not (Float.equal aik 0.0) then begin
         let arow = i * b.cols and brow = k * b.cols in
         for j = 0 to b.cols - 1 do
           c.data.(arow + j) <- c.data.(arow + j) +. (aik *. b.data.(brow + j))
@@ -93,7 +93,7 @@ let tmv a x =
   for i = 0 to a.rows - 1 do
     let base = i * a.cols in
     let xi = x.(i) in
-    if xi <> 0.0 then
+    if not (Float.equal xi 0.0) then
       for j = 0 to a.cols - 1 do
         y.(j) <- y.(j) +. (a.data.(base + j) *. xi)
       done
@@ -106,7 +106,7 @@ let gram a =
     let base = i * a.cols in
     for j = 0 to a.cols - 1 do
       let aij = a.data.(base + j) in
-      if aij <> 0.0 then
+      if not (Float.equal aij 0.0) then
         for k = j to a.cols - 1 do
           let v = get g j k +. (aij *. a.data.(base + k)) in
           set g j k v

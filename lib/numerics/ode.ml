@@ -143,7 +143,7 @@ let rk45 ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?h_max f ~y0 ~times =
     end;
     (* Step-size update (both on accept and reject). *)
     let factor =
-      if err = 0.0 then 5.0 else Float.min 5.0 (Float.max 0.2 (safety *. (err ** (-0.2))))
+      if Float.equal err 0.0 then 5.0 else Float.min 5.0 (Float.max 0.2 (safety *. (err ** (-0.2))))
     in
     h := Float.min h_max (h_try *. factor);
     if !h < 1e-14 *. Float.max 1.0 (Float.abs !t) then

@@ -97,7 +97,7 @@ let lognormal_factor t ~cv =
 
 let poisson t ~lambda =
   assert (lambda >= 0.0);
-  if lambda = 0.0 then 0
+  if Float.equal lambda 0.0 then 0
   else if lambda < 64.0 then begin
     (* Knuth: count uniform draws until the product falls below e^-lambda. *)
     let limit = exp (-.lambda) in

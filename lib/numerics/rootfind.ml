@@ -2,8 +2,8 @@ exception No_bracket
 
 let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then raise No_bracket
   else begin
     let a = ref a and b = ref b and fa = ref fa in
@@ -13,7 +13,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
          let mid = (!a +. !b) /. 2.0 in
          result := mid;
          let fm = f mid in
-         if fm = 0.0 || (!b -. !a) /. 2.0 < tol then raise Exit;
+         if Float.equal fm 0.0 || (!b -. !a) /. 2.0 < tol then raise Exit;
          if !fa *. fm < 0.0 then b := mid
          else begin
            a := mid;
@@ -26,8 +26,8 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
 
 let brent ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then raise No_bracket
   else begin
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in

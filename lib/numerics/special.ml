@@ -102,7 +102,7 @@ and log_gamma_positive x g coefficients =
 let gamma_inc_lower ~a x =
   assert (a > 0.0);
   assert (x >= 0.0);
-  if x = 0.0 then 0.0
+  if Float.equal x 0.0 then 0.0
   else if x < a +. 1.0 then begin
     (* Series representation. *)
     let rec series n term sum =

@@ -15,7 +15,7 @@ let std x = sqrt (variance x)
 
 let cv x =
   let m = mean x in
-  if m = 0.0 then Float.infinity else std x /. Float.abs m
+  if Float.equal m 0.0 then Float.infinity else std x /. Float.abs m
 
 let quantile x q =
   assert (Array.length x > 0);
@@ -44,7 +44,7 @@ let covariance x y =
 
 let correlation x y =
   let sx = std x and sy = std y in
-  if sx = 0.0 || sy = 0.0 then 0.0 else covariance x y /. (sx *. sy)
+  if Float.equal sx 0.0 || Float.equal sy 0.0 then 0.0 else covariance x y /. (sx *. sy)
 
 let rmse x y =
   assert (Array.length x = Array.length y);
@@ -77,7 +77,7 @@ let max_abs_error x y =
 
 let nrmse x y =
   let range = Vec.max x -. Vec.min x in
-  if range = 0.0 then Float.infinity else rmse x y /. range
+  if Float.equal range 0.0 then Float.infinity else rmse x y /. range
 
 type histogram = { edges : Vec.t; counts : Vec.t }
 
@@ -104,7 +104,7 @@ let histogram ?weights ~bins ~lo ~hi x =
 
 let histogram_density { edges; counts } =
   let total = Vec.sum counts in
-  if total = 0.0 then Array.map (fun _ -> 0.0) counts
+  if Float.equal total 0.0 then Array.map (fun _ -> 0.0) counts
   else
     Array.mapi
       (fun i c ->

@@ -5,12 +5,12 @@ let solve ~lower ~diag ~upper ~rhs =
   assert (Array.length rhs = n);
   let c' = Array.make (n - 1) 0.0 in
   let d' = Array.make n 0.0 in
-  if diag.(0) = 0.0 then failwith "Tridiag.solve: zero pivot";
+  if Float.equal diag.(0) 0.0 then failwith "Tridiag.solve: zero pivot";
   if n > 1 then c'.(0) <- upper.(0) /. diag.(0);
   d'.(0) <- rhs.(0) /. diag.(0);
   for i = 1 to n - 1 do
     let denom = diag.(i) -. (lower.(i - 1) *. (if i - 1 < n - 1 then c'.(i - 1) else 0.0)) in
-    if denom = 0.0 then failwith "Tridiag.solve: zero pivot";
+    if Float.equal denom 0.0 then failwith "Tridiag.solve: zero pivot";
     if i < n - 1 then c'.(i) <- upper.(i) /. denom;
     d'.(i) <- (rhs.(i) -. (lower.(i - 1) *. d'.(i - 1))) /. denom
   done;

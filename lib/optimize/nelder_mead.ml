@@ -27,7 +27,7 @@ let minimize ?(options = default_options) ?(initial_step = 0.1) f ~x0 =
         else begin
           let v = Vec.copy x0 in
           let j = i - 1 in
-          v.(j) <- (if v.(j) = 0.0 then 0.00025 else v.(j) *. (1.0 +. initial_step));
+          v.(j) <- (if Float.equal v.(j) 0.0 then 0.00025 else v.(j) *. (1.0 +. initial_step));
           v
         end)
   in

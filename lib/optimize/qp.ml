@@ -107,7 +107,7 @@ let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
         let row = Mat.row a i in
         let w = s_inv_z.(i) in
         for p = 0 to n - 1 do
-          if row.(p) <> 0.0 then
+          if not (Float.equal row.(p) 0.0) then
             for q = 0 to n - 1 do
               Mat.set h_aug p q (Mat.get h_aug p q +. (w *. row.(p) *. row.(q)))
             done

@@ -18,9 +18,9 @@ let normal_matrix ~a ~weights ~penalty ~lambda =
   for r = 0 to m - 1 do
     let row = Mat.row a r in
     let w = weights.(r) in
-    if w <> 0.0 then
+    if not (Float.equal w 0.0) then
       for i = 0 to n - 1 do
-        if row.(i) <> 0.0 then
+        if not (Float.equal row.(i) 0.0) then
           for j = 0 to n - 1 do
             Mat.set out i j (Mat.get out i j +. (w *. row.(i) *. row.(j)))
           done

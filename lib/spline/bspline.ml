@@ -23,11 +23,11 @@ let rec bspl t i order x hi =
   else begin
     let left =
       let denom = t.(i + order - 1) -. t.(i) in
-      if denom = 0.0 then 0.0 else (x -. t.(i)) /. denom *. bspl t i (order - 1) x hi
+      if Float.equal denom 0.0 then 0.0 else (x -. t.(i)) /. denom *. bspl t i (order - 1) x hi
     in
     let right =
       let denom = t.(i + order) -. t.(i + 1) in
-      if denom = 0.0 then 0.0
+      if Float.equal denom 0.0 then 0.0
       else (t.(i + order) -. x) /. denom *. bspl t (i + 1) (order - 1) x hi
     in
     left +. right
@@ -38,11 +38,11 @@ let rec bspl_deriv t i order x hi =
   else begin
     let left =
       let denom = t.(i + order - 1) -. t.(i) in
-      if denom = 0.0 then 0.0 else float_of_int (order - 1) /. denom *. bspl t i (order - 1) x hi
+      if Float.equal denom 0.0 then 0.0 else float_of_int (order - 1) /. denom *. bspl t i (order - 1) x hi
     in
     let right =
       let denom = t.(i + order) -. t.(i + 1) in
-      if denom = 0.0 then 0.0
+      if Float.equal denom 0.0 then 0.0
       else float_of_int (order - 1) /. denom *. bspl t (i + 1) (order - 1) x hi
     in
     left -. right
@@ -53,12 +53,12 @@ and bspl_deriv2 t i order x hi =
   else begin
     let left =
       let denom = t.(i + order - 1) -. t.(i) in
-      if denom = 0.0 then 0.0
+      if Float.equal denom 0.0 then 0.0
       else float_of_int (order - 1) /. denom *. bspl_deriv t i (order - 1) x hi
     in
     let right =
       let denom = t.(i + order) -. t.(i + 1) in
-      if denom = 0.0 then 0.0
+      if Float.equal denom 0.0 then 0.0
       else float_of_int (order - 1) /. denom *. bspl_deriv t (i + 1) (order - 1) x hi
     in
     left -. right

@@ -13,7 +13,7 @@ let second_derivative (b : Basis.t) =
       let w = weights.(q) *. half in
       let d2 = Array.init n (fun i -> b.deriv2 i x) in
       for i = 0 to n - 1 do
-        if d2.(i) <> 0.0 then
+        if not (Float.equal d2.(i) 0.0) then
           for j = i to n - 1 do
             Mat.set omega i j (Mat.get omega i j +. (w *. d2.(i) *. d2.(j)))
           done
@@ -35,7 +35,7 @@ let gram (b : Basis.t) grid =
   for m = 0 to Array.length grid - 1 do
     for i = 0 to n - 1 do
       let di = Mat.get design m i in
-      if di <> 0.0 then
+      if not (Float.equal di 0.0) then
         for j = i to n - 1 do
           Mat.set g i j (Mat.get g i j +. (w.(m) *. di *. Mat.get design m j))
         done

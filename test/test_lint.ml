@@ -1,0 +1,261 @@
+(* Tests for the deconv-lint static-analysis pass (lib/analysis).
+   Violating code lives inside string literals, so linting this very file
+   stays clean, and the suppression scanner must not mistake the marker
+   text in those strings for a real suppression comment. *)
+
+open Testutil
+
+let lint ?disabled ~path src =
+  match Analysis.Lint.lint_source ?disabled ~path src with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "lint_source failed on %s: %s" path msg
+
+let rules_of findings =
+  List.sort String.compare (List.map (fun f -> f.Analysis.Finding.rule) findings)
+
+let check_rules msg expected ?disabled ~path src =
+  Alcotest.(check (list string))
+    msg
+    (List.sort String.compare expected)
+    (rules_of (lint ?disabled ~path src))
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  go 0
+
+(* R1: polymorphic comparison on float operands. *)
+
+let test_r1_positive () =
+  check_rules "float '='" [ "R1" ] ~path:"lib/scratch.ml" "let f x = x = 0.0";
+  check_rules "float '<>'" [ "R1" ] ~path:"lib/scratch.ml" "let f x = x <> 1.5";
+  check_rules "compare on float arithmetic" [ "R1" ] ~path:"lib/scratch.ml"
+    "let f a b = compare (a *. 2.0) b";
+  check_rules "min on float" [ "R1" ] ~path:"lib/scratch.ml" "let f a b = min a (b +. 1.0)";
+  check_rules "R1 applies outside lib too" [ "R1" ] ~path:"test/scratch.ml"
+    "let f x = x = 0.0"
+
+let test_r1_negative () =
+  check_rules "Float.equal is fine" [] ~path:"lib/scratch.ml" "let f x = Float.equal x 0.0";
+  check_rules "int '=' is fine" [] ~path:"lib/scratch.ml" "let f x = x = 0";
+  check_rules "explicit tolerance is fine" [] ~path:"lib/scratch.ml"
+    "let f x = Float.abs (x -. 1.0) < 1e-9"
+
+let test_r1_location () =
+  match lint ~path:"lib/scratch.ml" "let f x = x = 0.0" with
+  | [ f ] ->
+    let text = Analysis.Finding.to_text f in
+    check_true "file:line:col and rule id in text"
+      (contains ~needle:"lib/scratch.ml:1:13: [R1]" text)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* R2: catch-all exception handlers in library code. *)
+
+let test_r2_positive () =
+  check_rules "wildcard handler" [ "R2" ] ~path:"lib/scratch.ml"
+    "let f g = try g () with _ -> 0";
+  check_rules "variable handler without re-raise" [ "R2" ] ~path:"lib/scratch.ml"
+    "let f g = try g () with e -> String.length (Printexc.to_string e)";
+  check_rules "catch-all exception case in match" [ "R2" ] ~path:"lib/scratch.ml"
+    "let f g = match g () with x -> x | exception _ -> 0"
+
+let test_r2_negative () =
+  check_rules "specific exception is fine" [] ~path:"lib/scratch.ml"
+    "let f g = try g () with Not_found -> 0";
+  check_rules "re-raising variable handler is fine" [] ~path:"lib/scratch.ml"
+    "let f g = try g () with e -> raise e";
+  check_rules "R2 does not apply outside lib" [] ~path:"bench/scratch.ml"
+    "let f g = try g () with _ -> 0"
+
+(* R3: partial accessors. *)
+
+let test_r3_positive () =
+  check_rules "List.hd" [ "R3" ] ~path:"lib/scratch.ml" "let f l = List.hd l";
+  check_rules "List.tl" [ "R3" ] ~path:"lib/scratch.ml" "let f l = List.tl l";
+  check_rules "Option.get" [ "R3" ] ~path:"test/scratch.ml" "let f o = Option.get o"
+
+let test_r3_negative () =
+  check_rules "pattern match is fine" [] ~path:"lib/scratch.ml"
+    "let f l = match l with [] -> 0 | x :: _ -> x";
+  check_rules "Option.value is fine" [] ~path:"lib/scratch.ml"
+    "let f o = Option.value o ~default:0"
+
+(* R4: magic paper constants outside the params module. *)
+
+let test_r4_positive () =
+  check_rules "0.15 in library code" [ "R4" ] ~path:"lib/foo/scratch.ml" "let x = 0.15";
+  check_rules "0.6 in library code" [ "R4" ] ~path:"lib/foo/scratch.ml" "let y = 0.6"
+
+let test_r4_negative () =
+  check_rules "params.ml is the allowed site" [] ~path:"lib/cellpop/params.ml"
+    "let x = 0.15";
+  check_rules "R4 does not apply outside lib" [] ~path:"bench/scratch.ml" "let x = 0.15";
+  check_rules "data-table literals are exempt" [] ~path:"lib/foo/scratch.ml"
+    "let xs = [| 0.15; 0.4; 0.6 |]";
+  check_rules "non-magic constants are fine" [] ~path:"lib/foo/scratch.ml" "let x = 0.25"
+
+(* R5: stdout/stderr side effects in library code. *)
+
+let test_r5_positive () =
+  check_rules "print_endline" [ "R5" ] ~path:"lib/scratch.ml"
+    "let f () = print_endline \"hi\"";
+  check_rules "Printf.printf" [ "R5" ] ~path:"lib/scratch.ml"
+    "let f () = Printf.printf \"%d\" 3"
+
+let test_r5_negative () =
+  check_rules "printing from bin is fine" [] ~path:"bin/scratch.ml"
+    "let f () = print_endline \"hi\"";
+  check_rules "Printf.sprintf is fine in lib" [] ~path:"lib/scratch.ml"
+    "let f () = Printf.sprintf \"%d\" 3"
+
+(* R6: ignoring result-carrying expressions. *)
+
+let test_r6_positive () =
+  check_rules "ignore (validate ...)" [ "R6" ] ~path:"lib/scratch.ml"
+    "let f x = ignore (validate x)";
+  check_rules "|> ignore" [ "R6" ] ~path:"lib/scratch.ml" "let f x = validate x |> ignore";
+  check_rules "ignore on Result combinator" [ "R6" ] ~path:"lib/scratch.ml"
+    "let f r = ignore (Result.map succ r)"
+
+let test_r6_negative () =
+  check_rules "ignoring a plain value is fine" [] ~path:"lib/scratch.ml"
+    "let f x = ignore (succ x)"
+
+(* Suppressions and R0. *)
+
+let test_suppression_trailing () =
+  check_rules "trailing suppression silences the rule" [] ~path:"lib/scratch.ml"
+    "let f x = x = 0.0 (* lint: allow R1 -- operands proven NaN-free upstream *)"
+
+let test_suppression_above () =
+  check_rules "comment-above suppression covers the next line" [] ~path:"lib/scratch.ml"
+    "(* lint: allow R1 -- operands proven NaN-free upstream *)\nlet f x = x = 0.0"
+
+let test_suppression_wrong_rule () =
+  check_rules "suppressing a different rule does not silence R1" [ "R1" ]
+    ~path:"lib/scratch.ml"
+    "let f x = x = 0.0 (* lint: allow R3 -- wrong rule on purpose *)"
+
+let test_suppression_malformed_no_rule () =
+  check_rules "marker without a rule id is R0 and suppresses nothing" [ "R0"; "R1" ]
+    ~path:"lib/scratch.ml" "let f x = x = 0.0 (* lint: allow -- no rule named *)"
+
+let test_suppression_malformed_no_reason () =
+  check_rules "marker without a reason is R0 and suppresses nothing" [ "R0"; "R1" ]
+    ~path:"lib/scratch.ml" "let f x = x = 0.0 (* lint: allow R1 *)"
+
+let test_marker_in_string_is_not_a_suppression () =
+  check_rules "marker inside a string literal is inert" [ "R1" ] ~path:"lib/scratch.ml"
+    "let doc = \"(* lint: allow R1 -- not a comment *)\"\nlet f x = x = 0.0"
+
+(* CLI-level behaviors exercised through the library API. *)
+
+let test_disable () =
+  check_rules "--disable drops the rule" [] ~disabled:[ "R1" ] ~path:"lib/scratch.ml"
+    "let f x = x = 0.0";
+  check_rules "disable is case-insensitive" [] ~disabled:[ "r1" ] ~path:"lib/scratch.ml"
+    "let f x = x = 0.0";
+  check_rules "disabling one rule keeps the others" [ "R2" ] ~disabled:[ "R1" ]
+    ~path:"lib/scratch.ml" "let f g = try Float.equal (g ()) 0.0 with _ -> false"
+
+let test_json_round_trip () =
+  let findings = lint ~path:"lib/scratch.ml" "let f x = x = 0.0" in
+  let json = Analysis.Finding.list_to_json findings in
+  check_true "json carries the rule" (contains ~needle:"\"rule\":\"R1\"" json);
+  check_true "json carries the line" (contains ~needle:"\"line\":1" json);
+  check_true "json carries the file" (contains ~needle:"\"file\":\"lib/scratch.ml\"" json);
+  Alcotest.(check string) "empty findings render as []" "[]"
+    (Analysis.Finding.list_to_json [])
+
+let test_json_escaping () =
+  let f =
+    {
+      Analysis.Finding.file = "lib/a\"b.ml";
+      line = 1;
+      col = 1;
+      rule = "R1";
+      message = "tab\there";
+      hint = "back\\slash";
+    }
+  in
+  let json = Analysis.Finding.to_json f in
+  check_true "quote escaped" (contains ~needle:"lib/a\\\"b.ml" json);
+  check_true "tab escaped" (contains ~needle:"tab\\there" json);
+  check_true "backslash escaped" (contains ~needle:"back\\\\slash" json)
+
+let test_parse_error () =
+  match Analysis.Lint.lint_source ~path:"lib/scratch.ml" "let let = =" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_lint_file_as_path () =
+  let path = Filename.temp_file "deconv_lint_test" ".ml" in
+  let oc = open_out path in
+  output_string oc "let f g = try g () with _ -> 0\n";
+  close_out oc;
+  let result = Analysis.Lint.lint_file ~as_path:"lib/fake/scratch.ml" path in
+  Sys.remove path;
+  match result with
+  | Ok [ f ] ->
+    Alcotest.(check string) "rule" "R2" f.Analysis.Finding.rule;
+    Alcotest.(check string) "reported under the logical path" "lib/fake/scratch.ml"
+      f.Analysis.Finding.file
+  | Ok fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+  | Error msg -> Alcotest.failf "lint_file failed: %s" msg
+
+(* Regression: the repository's own library tree lints clean. Tests run in
+   _build/default/test, so the (copied) sources live one directory up. *)
+let test_repo_tree_is_clean () =
+  let root p = Filename.concat Filename.parent_dir_name p in
+  let paths = List.filter (fun p -> Sys.file_exists (root p)) [ "lib"; "bin"; "bench" ] in
+  if paths = [] then ()
+  else begin
+    let result = Analysis.Lint.run (List.map root paths) in
+    List.iter
+      (fun (p, msg) -> Alcotest.failf "lint error on %s: %s" p msg)
+      result.Analysis.Lint.errors;
+    match result.Analysis.Lint.findings with
+    | [] -> ()
+    | f :: _ ->
+      Alcotest.failf "repo tree has %d finding(s), first: %s"
+        (List.length result.Analysis.Lint.findings)
+        (Analysis.Finding.to_text f)
+  end
+
+let tests =
+  [
+    ( "lint-rules",
+      [
+        case "r1 positive" test_r1_positive;
+        case "r1 negative" test_r1_negative;
+        case "r1 location in text output" test_r1_location;
+        case "r2 positive" test_r2_positive;
+        case "r2 negative" test_r2_negative;
+        case "r3 positive" test_r3_positive;
+        case "r3 negative" test_r3_negative;
+        case "r4 positive" test_r4_positive;
+        case "r4 negative" test_r4_negative;
+        case "r5 positive" test_r5_positive;
+        case "r5 negative" test_r5_negative;
+        case "r6 positive" test_r6_positive;
+        case "r6 negative" test_r6_negative;
+      ] );
+    ( "lint-suppress",
+      [
+        case "trailing comment" test_suppression_trailing;
+        case "comment above" test_suppression_above;
+        case "wrong rule id" test_suppression_wrong_rule;
+        case "malformed: no rule" test_suppression_malformed_no_rule;
+        case "malformed: no reason" test_suppression_malformed_no_reason;
+        case "marker in string literal" test_marker_in_string_is_not_a_suppression;
+      ] );
+    ( "lint-cli",
+      [
+        case "disable" test_disable;
+        case "json round trip" test_json_round_trip;
+        case "json escaping" test_json_escaping;
+        case "parse error" test_parse_error;
+        case "lint_file as_path" test_lint_file_as_path;
+        case "repo tree lints clean" test_repo_tree_is_clean;
+      ] );
+  ]

@@ -446,7 +446,7 @@ let test_lambda_skips_non_finite_candidates () =
   let problem = make_problem (Lazy.force clean_data) in
   let lambdas = [| Float.nan; 1e-5; Float.infinity; 1e-3; -1.0 |] in
   let lambda = Deconv.Lambda.select problem ~method_:`Gcv ~lambdas () in
-  check_true "winner from the finite candidates" (lambda = 1e-5 || lambda = 1e-3)
+  check_true "winner from the finite candidates" (Float.equal lambda 1e-5 || Float.equal lambda 1e-3)
 
 let test_lambda_all_non_finite () =
   let problem = make_problem (Lazy.force clean_data) in
@@ -516,7 +516,8 @@ let test_datasets_load_measurements () =
       let t, g, s = expect_csv_ok (Dataio.Datasets.load_measurements ~path) in
       check_vec ~tol:0.0 "sorted by time" [| 0.0; 15.0; 30.0 |] t;
       check_vec ~tol:0.0 "g reordered with times" [| 1.0; 2.0; 3.0 |] g;
-      check_vec ~tol:0.0 "sigma reordered with times" [| 0.1; 0.2; 0.3 |] (Option.get s))
+      check_vec ~tol:0.0 "sigma reordered with times" [| 0.1; 0.2; 0.3 |]
+        (Option.value s ~default:[||]))
 
 let test_datasets_wrong_columns () =
   with_temp_csv "a\n1\n2\n" (fun path ->
