@@ -1263,6 +1263,10 @@ let ext_recovery_study () =
 (* Bechamel micro-benchmarks of the computational kernels.             *)
 (* ------------------------------------------------------------------ *)
 
+(* Set by the --json flag in main: micro additionally writes its OLS fits
+   to BENCH_deconv.json for machine consumption. *)
+let json_out = ref false
+
 let micro () =
   section "micro (bechamel kernels)";
   let open Bechamel in
@@ -1345,6 +1349,20 @@ let micro () =
                 ~n_phi:101 ~basis
             in
             fun () -> ignore (Deconv.Schedule.greedy candidate ~budget:6)));
+      (* Guard on the observability layer: with no sink installed a span is
+         one branch + closure call, and a disabled counter is one branch.
+         If either climbs to microseconds, instrumentation has leaked real
+         work into the hot paths. *)
+      Test.make ~name:"obs_span_disabled"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do
+               Obs.Span.with_ "bench.noop" (fun sp -> Obs.Span.set_int sp "i" 0)
+             done));
+      Test.make ~name:"obs_metrics_disabled"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do
+               Obs.Metrics.incr "bench.noop"
+             done));
     ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
@@ -1352,22 +1370,46 @@ let micro () =
     Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"deconv" tests)
   in
   let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let t = Dataio.Table.create ~title:"kernel timings" ~headers:[ "test_index"; "ns_per_run" ] in
   let names = ref [] in
   Hashtbl.iter (fun name _ -> names := name :: !names) results;
   let sorted = List.sort compare !names in
+  let fits =
+    List.map
+      (fun name ->
+        let est = Hashtbl.find results name in
+        let ns =
+          match Analyze.OLS.estimates est with Some (v :: _) -> v | _ -> Float.nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square est with Some r -> r | None -> Float.nan
+        in
+        (name, ns, r2))
+      sorted
+  in
   List.iteri
-    (fun i name ->
-      let est = Hashtbl.find results name in
-      let ns =
-        match Analyze.OLS.estimates est with Some (v :: _) -> v | _ -> Float.nan
-      in
+    (fun i (name, ns, _) ->
       Printf.printf "  %-40s %12.0f ns/run\n" name ns;
       Dataio.Table.add_row t [| float_of_int i; ns |])
-    sorted
+    fits;
+  if !json_out then begin
+    let path = "BENCH_deconv.json" in
+    let oc = open_out path in
+    let fnum v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null" in
+    output_string oc "{\"suite\":\"deconv\",\"results\":[\n";
+    List.iteri
+      (fun i (name, ns, r2) ->
+        Printf.fprintf oc "  {\"name\":\"%s\",\"ns_per_run\":%s,\"r_square\":%s}%s\n" name
+          (fnum ns) (fnum r2)
+          (if i < List.length fits - 1 then "," else ""))
+      fits;
+    output_string oc "]}\n";
+    close_out oc;
+    Printf.printf "wrote OLS fits for %d kernels to %s\n" (List.length fits) path
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -1405,8 +1447,14 @@ let sections =
   ]
 
 let () =
+  let argv = match Array.to_list Sys.argv with [] -> [] | _exe :: args -> args in
+  json_out := List.mem "--json" argv;
+  let requested = List.filter (fun a -> not (String.equal a "--json")) argv in
+  (* --json is a property of the micro section; asking for it implies micro. *)
   let requested =
-    match Array.to_list Sys.argv with [] -> [] | _exe :: args -> args
+    if !json_out && requested <> [] && not (List.mem "micro" requested) then
+      requested @ [ "micro" ]
+    else requested
   in
   let to_run =
     if requested = [] then sections

@@ -33,6 +33,7 @@ let () =
           match r.Analysis.Rules.scope with
           | Analysis.Rules.Everywhere -> "everywhere"
           | Analysis.Rules.Lib_only -> "lib/ only"
+          | Analysis.Rules.Except_obs -> "everywhere except lib/obs/"
         in
         Printf.printf "%s (%s; %s)\n    %s\n" r.Analysis.Rules.id r.Analysis.Rules.title
           scope r.Analysis.Rules.description)

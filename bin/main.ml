@@ -149,8 +149,20 @@ let kernel_file_arg =
        & info [ "kernel" ] ~docv:"FILE"
            ~doc:"Reuse a kernel saved with `kernel --save` instead of simulating one.")
 
-let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons no_rate
-    bootstrap kernel_file output =
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL observability trace (spans + metrics) to $(docv); render it \
+                 with `deconv-cli trace summarize $(docv)`.")
+
+let metrics_flag_arg =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Print the counter/gauge/histogram summary after the run.")
+
+let run_deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons
+    no_rate bootstrap kernel_file output =
+  Obs.Span.with_ "deconvolve" @@ fun cli_span ->
+  Obs.Span.set_str cli_span "input" input;
   let times, g, sigmas =
     match Dataio.Datasets.load_measurements ~path:input with
     | Ok r -> r
@@ -265,12 +277,39 @@ let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos
         ]));
   0
 
+let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons no_rate
+    bootstrap kernel_file trace metrics output =
+  let trace_channel =
+    match trace with
+    | None -> None
+    | Some path ->
+      let oc = open_out path in
+      Obs.Export.install (Obs.Export.jsonl oc);
+      Some (path, oc)
+  in
+  if metrics || Option.is_some trace then Obs.Metrics.enable ();
+  let code =
+    run_deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons
+      no_rate bootstrap kernel_file output
+  in
+  (match trace_channel with
+  | Some (path, oc) ->
+    (* Append the metrics snapshot to the same stream, so a trace file is
+       self-contained: spans first (in close order), metrics last. *)
+    List.iter Obs.Export.emit (Obs.Metrics.events ());
+    Obs.Export.uninstall ();
+    close_out oc;
+    Printf.printf "wrote observability trace to %s\n" path
+  | None -> ());
+  if metrics then Obs.Metrics.output stdout;
+  code
+
 let deconvolve_cmd =
   let term =
     Term.(
       const deconvolve $ input_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg $ mu_sst_arg
       $ cycle_arg $ linear_volume_arg $ lambda_arg $ no_positivity $ no_conservation $ no_rate
-      $ bootstrap_arg $ kernel_file_arg $ output_arg)
+      $ bootstrap_arg $ kernel_file_arg $ trace_arg $ metrics_flag_arg $ output_arg)
   in
   Cmd.v
     (Cmd.info "deconvolve"
@@ -478,6 +517,105 @@ let calibrate_cmd =
        ~doc:"Fit the asynchrony model to a cell-type fraction time course.")
     term
 
+(* ---------------- trace ---------------- *)
+
+let trace_summarize_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.JSONL" ~doc:"Trace written by `deconvolve --trace`.")
+  in
+  let run file =
+    let ic = open_in file in
+    let events = Obs.Export.read_jsonl ic in
+    close_in ic;
+    match events with
+    | Ok events ->
+      Obs.Export.output_summary stdout events;
+      0
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:"Render a JSONL trace as an aggregated span tree with a metrics table.")
+    Term.(const run $ file_arg)
+
+let trace_selfcheck_cmd =
+  let run () =
+    let failures = ref [] in
+    let check name ok = if not ok then failures := name :: !failures in
+    (* 1. Serialization round-trip: to_json -> of_json -> to_json must be a
+       fixed point, including escapes and non-finite floats. *)
+    let nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 utf8 \xc3\xa9" in
+    let events =
+      [
+        Obs.Export.Span
+          { Obs.Export.id = 1; parent = None; name = nasty; start_s = 0.0;
+            stop_s = 0.125;
+            attrs =
+              [ ("f", Obs.Export.Float 0.1); ("i", Obs.Export.Int (-3));
+                ("s", Obs.Export.Str nasty); ("b", Obs.Export.Bool false);
+                ("nan", Obs.Export.Float Float.nan);
+                ("inf", Obs.Export.Float Float.infinity) ] };
+        Obs.Export.Span
+          { Obs.Export.id = 2; parent = Some 1; name = "child"; start_s = 0.25;
+            stop_s = 0.5; attrs = [] };
+        Obs.Export.Metric
+          { Obs.Export.metric_name = "m"; kind = "histogram";
+            fields = [ ("count", 2.0); ("sum", 1e-300); ("max", Float.nan) ] };
+      ]
+    in
+    List.iter
+      (fun ev ->
+        let line = Obs.Export.to_json ev in
+        match Obs.Export.of_json line with
+        | Ok ev' -> check ("round-trip " ^ line) (String.equal line (Obs.Export.to_json ev'))
+        | Error msg -> check (Printf.sprintf "parse %s (%s)" line msg) false)
+      events;
+    check "reject garbage" (Result.is_error (Obs.Export.of_json "{\"ev\":\"span\""));
+    (* 2. Nesting under a deterministic clock and a memory sink. *)
+    let source, advance = Obs.Clock.manual () in
+    let sink, recorded = Obs.Export.memory () in
+    Obs.Span.reset ();
+    Obs.Export.install sink;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Export.uninstall ();
+        Obs.Span.reset ())
+      (fun () ->
+        Obs.Clock.with_source source (fun () ->
+            Obs.Span.with_ "outer" (fun _ ->
+                advance 1.0;
+                Obs.Span.with_ "inner" (fun _ -> advance 0.5))));
+    (match recorded () with
+    | [ Obs.Export.Span inner; Obs.Export.Span outer ] ->
+      check "inner closes first" (String.equal inner.Obs.Export.name "inner");
+      check "inner parent is outer" (inner.Obs.Export.parent = Some outer.Obs.Export.id);
+      check "outer is a root" (outer.Obs.Export.parent = None);
+      check "inner duration"
+        (Float.equal (inner.Obs.Export.stop_s -. inner.Obs.Export.start_s) 0.5);
+      check "outer duration"
+        (Float.equal (outer.Obs.Export.stop_s -. outer.Obs.Export.start_s) 1.5)
+    | evs -> check (Printf.sprintf "expected 2 spans, got %d events" (List.length evs)) false);
+    match List.rev !failures with
+    | [] ->
+      print_endline "trace selfcheck: ok";
+      0
+    | fs ->
+      List.iter (fun f -> Printf.eprintf "trace selfcheck FAILED: %s\n" f) fs;
+      1
+  in
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:"Verify the trace schema: serialization round-trip and span nesting.")
+    Term.(const run $ const ())
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect and validate observability traces.")
+    [ trace_summarize_cmd; trace_selfcheck_cmd ]
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -488,5 +626,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; deconvolve_cmd; kernel_cmd; celltypes_cmd; identifiability_cmd;
-            schedule_cmd; calibrate_cmd;
+            schedule_cmd; calibrate_cmd; trace_cmd;
           ]))

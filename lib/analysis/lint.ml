@@ -25,6 +25,15 @@ let is_params_file path =
   | file :: dir :: _ -> String.equal file "params.ml" && String.equal dir "cellpop"
   | _ -> false
 
+(* The observability layer itself: the one place allowed to read the real
+   clock (rule R7's exemption). *)
+let in_obs path =
+  in_lib path
+  &&
+  match List.rev (segments path) with
+  | _file :: dir :: _ -> String.equal dir "obs"
+  | _ -> false
+
 (* ---------------- rule implementations ---------------- *)
 
 (* The paper constants of rule R4: phi_sst ~ N(0.15, (0.13*0.15)^2), the
@@ -155,6 +164,7 @@ type ctx = {
   path : string;
   lib : bool;
   params : bool;
+  obs : bool;  (* under lib/obs/: exempt from R7 *)
   mutable in_data : bool;  (* inside an array/list literal (data table) *)
   mutable acc : Finding.t list;
 }
@@ -266,6 +276,24 @@ let check_r5_ident ctx e =
         ~hint:"take an explicit Format.formatter argument (Fmt style) instead"
     | _ -> ()
 
+(* R7: raw timing calls outside lib/obs. Flag the identifier itself so a
+   bare reference (let t = Sys.time) is caught like an application. *)
+let check_r7 ctx e =
+  if not ctx.obs then
+    match e.pexp_desc with
+    | Pexp_ident { txt = Ldot (Lident "Sys", "time"); _ } ->
+      report ctx ~loc:e.pexp_loc ~rule:"R7"
+        ~message:
+          "Sys.time is processor time, not wall-clock, and bypasses the mockable Obs.Clock"
+        ~hint:"use Obs.Clock.now () (wall-clock, monotonic, substitutable in tests)"
+    | Pexp_ident { txt = Ldot (Lident "Unix", (("gettimeofday" | "time" | "times") as fn)); _ }
+      ->
+      report ctx ~loc:e.pexp_loc ~rule:"R7"
+        ~message:
+          (Printf.sprintf "raw timing call Unix.%s outside lib/obs bypasses Obs.Clock" fn)
+        ~hint:"use Obs.Clock.now (), or add a source to Obs.Clock if a new clock is needed"
+    | _ -> ()
+
 let check_r6 ctx f args =
   let is_ignore e =
     match ident_of e with
@@ -306,6 +334,7 @@ let make_iterator ctx =
     | _ -> ());
     check_r4 ctx e;
     check_r5_ident ctx e;
+    check_r7 ctx e;
     match e.pexp_desc with
     | Pexp_array _ | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
       let saved = ctx.in_data in
@@ -345,6 +374,7 @@ let walk_source ~path source =
           path;
           lib = in_lib path;
           params = is_params_file path;
+          obs = in_obs path;
           in_data = false;
           acc = [];
         }

@@ -1,4 +1,4 @@
-type scope = Everywhere | Lib_only
+type scope = Everywhere | Lib_only | Except_obs
 
 type t = { id : string; title : string; scope : scope; description : string }
 
@@ -78,6 +78,18 @@ let all =
          *_result / validate / solve_robust function). Discarding these drops \
          typed Robust.Error values on the floor; match on the result or log \
          the error.";
+    };
+    {
+      id = "R7";
+      title = "raw timing call outside lib/obs";
+      scope = Except_obs;
+      description =
+        "Sys.time, Unix.gettimeofday, Unix.time or Unix.times referenced \
+         outside lib/obs. Sys.time is processor time and was once mislabeled \
+         wall-clock in Robust.Report.seconds; timing must flow through \
+         Obs.Clock.now so it is monotonic, wall-clock, and mockable in tests. \
+         Only lib/obs (the clock implementation itself) may read the real \
+         clock.";
     };
   ]
 

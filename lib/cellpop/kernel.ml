@@ -64,8 +64,13 @@ let of_snapshots ?(smooth_window = 1) params snapshots ~n_phi ~n0 =
   { phases; bin_width; times; q; q_tilde }
 
 let estimate ?smooth_window params ~rng ~n_cells ~times ~n_phi =
-  let snapshots = Population.simulate params ~rng ~n0:n_cells ~times in
-  of_snapshots ?smooth_window params snapshots ~n_phi ~n0:n_cells
+  Obs.Span.with_ "kernel.estimate" (fun sp ->
+      Obs.Span.set_int sp "n_cells" n_cells;
+      Obs.Span.set_int sp "n_phi" n_phi;
+      Obs.Span.set_int sp "n_times" (Array.length times);
+      Obs.Span.set_int sp "smooth_window" (Option.value smooth_window ~default:1);
+      let snapshots = Population.simulate params ~rng ~n0:n_cells ~times in
+      of_snapshots ?smooth_window params snapshots ~n_phi ~n0:n_cells)
 
 let row k m = Mat.row k.q m
 

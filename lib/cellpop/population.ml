@@ -15,27 +15,35 @@ let rec advance_cell params rng out cell dt =
   end
 
 let simulate params ~rng ~n0 ~times =
-  assert (n0 > 0);
-  let n_times = Array.length times in
-  assert (n_times >= 1);
-  for i = 0 to n_times - 2 do
-    assert (times.(i) < times.(i + 1))
-  done;
-  assert (times.(0) >= 0.0);
-  let founders = Array.init n0 (fun _ -> Cell.founder params rng) in
-  let current = ref founders in
-  let now = ref 0.0 in
-  Array.map
-    (fun t ->
-      let dt = t -. !now in
-      if dt > 0.0 then begin
-        let out = ref [] in
-        Array.iter (fun c -> advance_cell params rng out c dt) !current;
-        current := Array.of_list !out;
-        now := t
-      end;
-      { time = t; cells = Array.copy !current })
-    times
+  Obs.Span.with_ "population.simulate" (fun sp ->
+      assert (n0 > 0);
+      let n_times = Array.length times in
+      assert (n_times >= 1);
+      for i = 0 to n_times - 2 do
+        assert (times.(i) < times.(i + 1))
+      done;
+      assert (times.(0) >= 0.0);
+      Obs.Span.set_int sp "n0" n0;
+      Obs.Span.set_int sp "n_times" n_times;
+      let founders = Array.init n0 (fun _ -> Cell.founder params rng) in
+      let current = ref founders in
+      let now = ref 0.0 in
+      let snapshots =
+        Array.map
+          (fun t ->
+            let dt = t -. !now in
+            if dt > 0.0 then begin
+              let out = ref [] in
+              Array.iter (fun c -> advance_cell params rng out c dt) !current;
+              current := Array.of_list !out;
+              now := t
+            end;
+            { time = t; cells = Array.copy !current })
+          times
+      in
+      Obs.Span.set_int sp "final_cells" (Array.length !current);
+      Obs.Metrics.incr ~by:(float_of_int (Array.length !current)) "population.cells_simulated";
+      snapshots)
 
 let count s = Array.length s.cells
 

@@ -21,11 +21,17 @@ let usable_lambda lambda = Float.is_finite lambda && lambda >= 0.0
 let sanitize score = if Float.is_finite score then score else Float.infinity
 
 let guarded_score lambda score_of =
-  if not (usable_lambda lambda) then Float.infinity
-  else
-    match score_of lambda with
-    | score -> sanitize score
-    | exception Linalg.Singular _ -> Float.infinity
+  Obs.Span.with_ "lambda.candidate" (fun sp ->
+      Obs.Span.set_float sp "lambda" lambda;
+      let score =
+        if not (usable_lambda lambda) then Float.infinity
+        else
+          match score_of lambda with
+          | score -> sanitize score
+          | exception Linalg.Singular _ -> Float.infinity
+      in
+      Obs.Span.set_float sp "score" score;
+      score)
 
 let fail_if_all_non_finite ~selector (best : 'a Optimize.Cross_validation.score) =
   if not (Float.is_finite best.Optimize.Cross_validation.score) then
@@ -107,14 +113,18 @@ let lcurve problem ~lambdas =
   let points =
     Array.map
       (fun lambda ->
-        if not (usable_lambda lambda) then None
-        else
-          match Solver.solve_unconstrained ~lambda problem with
-          | exception Linalg.Singular _ -> None
-          | est ->
-            let x = log (Float.max 1e-300 est.Solver.data_misfit) in
-            let y = log (Float.max 1e-300 est.Solver.roughness) in
-            if Float.is_finite x && Float.is_finite y then Some (x, y) else None)
+        Obs.Span.with_ "lambda.candidate" (fun sp ->
+            Obs.Span.set_float sp "lambda" lambda;
+            if not (usable_lambda lambda) then None
+            else
+              match Solver.solve_unconstrained ~lambda problem with
+              | exception Linalg.Singular _ -> None
+              | est ->
+                Obs.Span.set_float sp "misfit" est.Solver.data_misfit;
+                Obs.Span.set_float sp "roughness" est.Solver.roughness;
+                let x = log (Float.max 1e-300 est.Solver.data_misfit) in
+                let y = log (Float.max 1e-300 est.Solver.roughness) in
+                if Float.is_finite x && Float.is_finite y then Some (x, y) else None))
       lambdas
   in
   if not (Array.exists Option.is_some points) then
@@ -148,18 +158,31 @@ let lcurve problem ~lambdas =
 
 let select problem ~method_ ?rng ?lambdas () =
   let lambdas = match lambdas with Some l -> l | None -> Lazy.force default_grid in
-  match method_ with
-  | `Fixed lambda ->
-    if usable_lambda lambda then lambda
-    else
-      Robust.Error.raise_error
-        (Robust.Error.Invalid_input
-           { field = "lambda"; why = Printf.sprintf "fixed lambda %g is not usable" lambda })
-  | `Gcv -> fst (gcv problem ~lambdas)
-  | `Lcurve -> fst (lcurve problem ~lambdas)
-  | `Kfold k ->
-    let rng = match rng with Some r -> r | None -> Rng.create 42 in
-    fst (kfold problem ~rng ~k ~lambdas)
+  Obs.Span.with_ "lambda.select" (fun sp ->
+      Obs.Span.set_str sp "method"
+        (match method_ with
+        | `Fixed _ -> "fixed"
+        | `Gcv -> "gcv"
+        | `Lcurve -> "lcurve"
+        | `Kfold _ -> "kfold");
+      Obs.Span.set_int sp "candidates" (Array.length lambdas);
+      let chosen =
+        match method_ with
+        | `Fixed lambda ->
+          if usable_lambda lambda then lambda
+          else
+            Robust.Error.raise_error
+              (Robust.Error.Invalid_input
+                 { field = "lambda"; why = Printf.sprintf "fixed lambda %g is not usable" lambda })
+        | `Gcv -> fst (gcv problem ~lambdas)
+        | `Lcurve -> fst (lcurve problem ~lambdas)
+        | `Kfold k ->
+          let rng = match rng with Some r -> r | None -> Rng.create 42 in
+          fst (kfold problem ~rng ~k ~lambdas)
+      in
+      Obs.Span.set_float sp "chosen" chosen;
+      Obs.Metrics.set "lambda.chosen" chosen;
+      chosen)
 
 let select_result problem ~method_ ?rng ?lambdas () =
   match select problem ~method_ ?rng ?lambdas () with

@@ -61,6 +61,10 @@ type run = {
 }
 
 let run config ~profile =
+  Obs.Span.with_ "pipeline.run" @@ fun pipeline_span ->
+  Obs.Span.set_int pipeline_span "seed" config.seed;
+  Obs.Span.set_int pipeline_span "n_phi" config.n_phi;
+  Obs.Span.set_int pipeline_span "num_knots" config.num_knots;
   let inversion_params =
     match config.inversion_params with Some p -> p | None -> config.data_params
   in
@@ -71,10 +75,13 @@ let run config ~profile =
   let rng_cv = Rng.split root in
   let rng_fault = Rng.split root in
   let kernel =
-    Cellpop.Kernel.estimate ~smooth_window:config.kernel_smooth_window inversion_params
-      ~rng:rng_kernel ~n_cells:config.n_cells_kernel ~times:config.times ~n_phi:config.n_phi
+    Obs.Span.with_ "pipeline.kernel" (fun _ ->
+        Cellpop.Kernel.estimate ~smooth_window:config.kernel_smooth_window inversion_params
+          ~rng:rng_kernel ~n_cells:config.n_cells_kernel ~times:config.times
+          ~n_phi:config.n_phi)
   in
   let clean =
+    Obs.Span.with_ "pipeline.forward" @@ fun _ ->
     match config.forward_mode with
     | Same_kernel -> Forward.apply_fn kernel profile
     | Independent_kernel ->
@@ -110,12 +117,17 @@ let run config ~profile =
      (typed Robust error), fall back to the solver's default λ — the
      cascade takes over from there. *)
   let lambda =
+    Obs.Span.with_ "pipeline.lambda" @@ fun sp ->
     let repaired, _ = Solver.repair_problem problem in
     match Lambda.select_result repaired ~method_:config.selection ~rng:rng_cv () with
     | Ok lambda -> lambda
-    | Error _ -> 1e-4
+    | Error _ ->
+      Obs.Span.set_bool sp "fallback" true;
+      1e-4
   in
+  Obs.Span.set_float pipeline_span "lambda" lambda;
   let estimate, report =
+    Obs.Span.with_ "pipeline.solve" @@ fun _ ->
     match Solver.solve_robust ~policy:config.solver_policy ~lambda problem with
     | Ok (estimate, report) -> (estimate, report)
     | Error e -> Robust.Error.raise_error e
@@ -123,6 +135,8 @@ let run config ~profile =
   let phases = kernel.Cellpop.Kernel.phases in
   let truth = Array.map profile phases in
   let recovery = Metrics.compare ~truth ~estimate:estimate.Solver.profile in
+  Obs.Span.set_float pipeline_span "recovery_rmse" recovery.Metrics.rmse;
+  Obs.Span.set_int pipeline_span "degradation" report.Robust.Report.degradation;
   {
     config;
     kernel;

@@ -70,25 +70,35 @@ let finish problem lambda a w omega (alpha : Vec.t) iterations active =
    estimate so the cascade can distinguish "converged" from "gave up". *)
 let solve_constrained ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true)
     ~lambda problem =
-  let a, w, omega, h, g_lin = quadratic_pieces ~ridge problem lambda in
-  let c_eq = equality_rows problem in
-  let d_eq = Option.map (fun (c : Mat.t) -> Vec.zeros c.Mat.rows) c_eq in
-  let a_ineq, b_ineq =
-    if problem.Problem.use_positivity then begin
-      let grid = problem.Problem.kernel.Cellpop.Kernel.phases in
-      (* Include the interval endpoints: the conservation constraints act
-         on f(0) and f(1), which lie outside the bin-center grid. *)
-      let grid = Vec.concat [ [| 0.0 |]; grid; [| 1.0 |] ] in
-      let rows = Constraints.positivity_rows problem.Problem.basis ~grid in
-      (Some rows, Some (Vec.zeros rows.Mat.rows))
-    end
-    else (None, None)
-  in
-  let qp = { Optimize.Qp.h; g = g_lin; c_eq; d_eq; a_ineq; b_ineq } in
-  let solution = Optimize.Qp.solve ~tol ~max_iter ~fail_on_stall qp in
-  ( finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
-      (List.length solution.Optimize.Qp.active),
-    solution.Optimize.Qp.status )
+  Obs.Span.with_ "solver.constrained" (fun sp ->
+      Obs.Span.set_float sp "lambda" lambda;
+      Obs.Span.set_float sp "ridge" ridge;
+      let a, w, omega, h, g_lin = quadratic_pieces ~ridge problem lambda in
+      let c_eq = equality_rows problem in
+      let d_eq = Option.map (fun (c : Mat.t) -> Vec.zeros c.Mat.rows) c_eq in
+      let a_ineq, b_ineq =
+        if problem.Problem.use_positivity then begin
+          let grid = problem.Problem.kernel.Cellpop.Kernel.phases in
+          (* Include the interval endpoints: the conservation constraints act
+             on f(0) and f(1), which lie outside the bin-center grid. *)
+          let grid = Vec.concat [ [| 0.0 |]; grid; [| 1.0 |] ] in
+          let rows = Constraints.positivity_rows problem.Problem.basis ~grid in
+          (Some rows, Some (Vec.zeros rows.Mat.rows))
+        end
+        else (None, None)
+      in
+      let qp = { Optimize.Qp.h; g = g_lin; c_eq; d_eq; a_ineq; b_ineq } in
+      let solution = Optimize.Qp.solve ~tol ~max_iter ~fail_on_stall qp in
+      let est =
+        finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
+          (List.length solution.Optimize.Qp.active)
+      in
+      Obs.Span.set_int sp "qp_iterations" est.qp_iterations;
+      Obs.Span.set_int sp "active_positivity" est.active_positivity;
+      Obs.Metrics.incr "solver.constrained_solves";
+      Obs.Metrics.incr ~by:(float_of_int est.qp_iterations) "solver.qp_iterations";
+      Obs.Metrics.observe "solver.active_positivity" (float_of_int est.active_positivity);
+      (est, solution.Optimize.Qp.status))
 
 let solve ?(lambda = 1e-4) ?ridge problem = fst (solve_constrained ?ridge ~lambda problem)
 
@@ -221,15 +231,29 @@ let estimate_of_richardson_lucy problem lambda (rl : Richardson_lucy.result) =
 
 let solve_robust_validated ~policy ~lambda problem =
   let attempts = ref [] in
+  (* Attempt durations are wall-clock via Obs.Clock (never Sys.time, which
+     is processor time and stands still while the process waits). *)
   let record stage lam ridge t0 outcome =
     attempts :=
-      { Robust.Report.stage; lambda = lam; ridge; seconds = Sys.time () -. t0; outcome }
+      { Robust.Report.stage; lambda = lam; ridge; seconds = Obs.Clock.now () -. t0; outcome }
       :: !attempts
+  in
+  (* Each cascade attempt is also a span on the observability stream, so a
+     trace shows the same story as the Robust.Report — stage, retry index,
+     regularization and outcome — with the QP spans nested inside. *)
+  let attempt_span stage_name body =
+    Obs.Span.with_ "solver.attempt" (fun sp ->
+        Obs.Span.set_str sp "stage" stage_name;
+        body sp)
+  in
+  let outcome_attr sp = function
+    | Ok () -> Obs.Span.set_str sp "outcome" "ok"
+    | Error e -> Obs.Span.set_str sp "outcome" (Robust.Error.to_string e)
   in
   let problem', repairs =
     if policy.repair_inputs then repair_problem problem else (problem, [])
   in
-  let t_validate = Sys.time () in
+  let t_validate = Obs.Clock.now () in
   match Problem.validate problem' with
   | Error e ->
     record Robust.Report.Validation lambda 0.0 t_validate (Error e);
@@ -251,6 +275,9 @@ let solve_robust_validated ~policy ~lambda problem =
       | c -> Some c
       | exception Linalg.Singular _ -> None
     in
+    (match condition with
+    | Some c -> Obs.Metrics.set "solver.condition" c
+    | None -> ());
     let precondition_ridge =
       match condition with
       | Some c when c > policy.condition_limit -> policy.ridge_floor *. h_scale
@@ -278,11 +305,19 @@ let solve_robust_validated ~policy ~lambda problem =
           Float.max precondition_ridge (policy.ridge_floor *. h_scale)
           *. (policy.ridge_growth ** float_of_int (!k - 1))
       in
-      let t0 = Sys.time () in
-      (match
-         solve_constrained ~ridge ~tol:policy.qp_tol ~max_iter:policy.qp_max_iter
-           ~fail_on_stall:false ~lambda:lam problem
-       with
+      attempt_span "constrained_qp" (fun sp ->
+          Obs.Span.set_int sp "retry" !k;
+          Obs.Span.set_float sp "lambda" lam;
+          Obs.Span.set_float sp "ridge" ridge;
+          let record stage l r t0 outcome =
+            outcome_attr sp outcome;
+            record stage l r t0 outcome
+          in
+          let t0 = Obs.Clock.now () in
+          match
+            solve_constrained ~ridge ~tol:policy.qp_tol ~max_iter:policy.qp_max_iter
+              ~fail_on_stall:false ~lambda:lam problem
+          with
       | exception Linalg.Singular _ ->
         let e =
           Robust.Error.Ill_conditioned
@@ -323,9 +358,16 @@ let solve_robust_validated ~policy ~lambda problem =
           (policy.ridge_floor *. h_scale
           *. (policy.ridge_growth ** float_of_int (Stdlib.max 0 (policy.max_retries - 1))))
       in
-      let t0 = Sys.time () in
-      match solve_unconstrained ~lambda:lam ~ridge problem with
-      | exception Linalg.Singular _ ->
+      attempt_span "unconstrained" (fun sp ->
+          Obs.Span.set_float sp "lambda" lam;
+          Obs.Span.set_float sp "ridge" ridge;
+          let record stage l r t0 outcome =
+            outcome_attr sp outcome;
+            record stage l r t0 outcome
+          in
+          let t0 = Obs.Clock.now () in
+          match solve_unconstrained ~lambda:lam ~ridge problem with
+          | exception Linalg.Singular _ ->
         let e =
           Robust.Error.Ill_conditioned
             { cond = Option.value condition ~default:Float.infinity }
@@ -341,17 +383,25 @@ let solve_robust_validated ~policy ~lambda problem =
           let e = Robust.Error.Non_finite { stage = "unconstrained solution" } in
           record Robust.Report.Unconstrained lam ridge t0 (Error e);
           last_error := e
-        end
+        end)
     end;
     (* Stage 3: Richardson–Lucy on the raw grid — positivity-preserving and
        factorization-free, the fallback of last resort. *)
     if !result = None && policy.enable_richardson_lucy then begin
-      let t0 = Sys.time () in
-      let measurements = Array.map (fun g -> Float.max 0.0 g) problem.Problem.measurements in
-      match
-        Richardson_lucy.deconvolve ~iterations:policy.rl_iterations problem.Problem.kernel
-          ~measurements ()
-      with
+      attempt_span "richardson_lucy" (fun sp ->
+          Obs.Span.set_float sp "lambda" lambda;
+          let record stage l r t0 outcome =
+            outcome_attr sp outcome;
+            record stage l r t0 outcome
+          in
+          let t0 = Obs.Clock.now () in
+          let measurements =
+            Array.map (fun g -> Float.max 0.0 g) problem.Problem.measurements
+          in
+          match
+            Richardson_lucy.deconvolve ~iterations:policy.rl_iterations problem.Problem.kernel
+              ~measurements ()
+          with
       (* lint: allow R2 — last cascade stage: any failure must become a typed
          error for the report; there is no later stage to re-raise to *)
       | exception _ ->
@@ -368,13 +418,24 @@ let solve_robust_validated ~policy ~lambda problem =
           let e = Robust.Error.Non_finite { stage = "Richardson-Lucy" } in
           record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
           last_error := e
-        end
+        end)
     end;
     (match !result with Some (est, rep) -> Ok (est, rep) | None -> Error !last_error)
 
 let solve_robust ?(policy = default_policy) ?(lambda = 1e-4) problem =
-  if not (Float.is_finite lambda && lambda >= 0.0) then
-    Error
-      (Robust.Error.Invalid_input
-         { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" lambda })
-  else solve_robust_validated ~policy ~lambda problem
+  Obs.Span.with_ "solver.solve_robust" (fun sp ->
+      Obs.Span.set_float sp "lambda" lambda;
+      let result =
+        if not (Float.is_finite lambda && lambda >= 0.0) then
+          Error
+            (Robust.Error.Invalid_input
+               { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" lambda })
+        else solve_robust_validated ~policy ~lambda problem
+      in
+      (match result with
+      | Ok (_, rep) ->
+        Obs.Span.set_str sp "solved_by"
+          (Robust.Report.stage_name rep.Robust.Report.solved_by);
+        Obs.Span.set_int sp "degradation" rep.Robust.Report.degradation
+      | Error e -> Obs.Span.set_str sp "outcome" (Robust.Error.to_string e));
+      result)

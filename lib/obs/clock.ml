@@ -1,0 +1,31 @@
+type source = unit -> float
+
+let wall = Unix.gettimeofday
+
+let current : source ref = ref wall
+
+(* Highest reading handed out so far; [now] never goes below it. *)
+let last = ref neg_infinity
+
+let set_source src =
+  current := src;
+  last := neg_infinity
+
+let now () =
+  let t = !current () in
+  let t = if t > !last then t else !last in
+  last := t;
+  t
+
+let with_source src f =
+  let saved = !current and saved_last = !last in
+  set_source src;
+  Fun.protect
+    ~finally:(fun () ->
+      current := saved;
+      last := saved_last)
+    f
+
+let manual ?(start = 0.0) () =
+  let t = ref start in
+  ((fun () -> !t), fun dt -> t := !t +. dt)

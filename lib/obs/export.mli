@@ -1,0 +1,96 @@
+(** Event model and sinks for the observability layer.
+
+    Instrumented code ([Span], [Metrics]) produces [event] values; where
+    they go is decided once per process by [install]ing a sink. With no
+    sink installed (the default) nothing is recorded and instrumentation
+    costs a single branch. Library code never touches stdout/stderr (rule
+    R5): the JSONL sink writes to a caller-supplied channel and the text
+    summary renders to a caller-supplied channel.
+
+    JSONL schema (one JSON object per line):
+    - spans: [{"ev":"span","id":4,"parent":2,"name":"qp.solve",
+      "start":0.25,"stop":0.31,"attrs":{"iterations":12,...}}] — [parent]
+      is [null] for roots; attribute values are numbers, strings or bools.
+    - metrics: [{"ev":"metric","name":"qp.iterations","kind":"counter",
+      "fields":{"value":431.0}}].
+
+    Non-finite floats are not representable in JSON; they serialize as the
+    strings ["nan"], ["inf"] and ["-inf"]. Metric fields (typed float)
+    parse back exactly; a non-finite span {e attribute} reads back as the
+    corresponding [Str] — round-tripping is exact for finite values. *)
+
+type value = Float of float | Int of int | Str of string | Bool of bool
+
+type span = {
+  id : int;  (** unique per process run, 1-based *)
+  parent : int option;  (** enclosing span id; [None] for roots *)
+  name : string;
+  start_s : float;  (** [Clock.now] at open *)
+  stop_s : float;  (** [Clock.now] at close *)
+  attrs : (string * value) list;
+}
+
+type metric = {
+  metric_name : string;
+  kind : string;  (** ["counter"], ["gauge"] or ["histogram"] *)
+  fields : (string * float) list;
+      (** e.g. [("value", v)] for counters/gauges; count/sum/mean/min/max
+          for histograms *)
+}
+
+type event = Span of span | Metric of metric
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** Accepts and drops every event. Distinct from "no sink installed":
+    with [null] installed, spans are still materialized (tracing is on),
+    they just go nowhere — useful for overhead measurements. *)
+
+val memory : unit -> sink * (unit -> event list)
+(** A recording sink and a function returning everything recorded so far,
+    in emission order. *)
+
+val jsonl : out_channel -> sink
+(** Writes one JSON object per event line to the given channel. The
+    channel stays owned by the caller; [flush] flushes it, nothing closes
+    it. *)
+
+val install : sink -> unit
+(** Route subsequent events to this sink (replacing any previous one). *)
+
+val uninstall : unit -> unit
+(** Flush and remove the active sink; tracing becomes disabled again. *)
+
+val tracing : unit -> bool
+(** [true] iff a sink is installed. *)
+
+val emit : event -> unit
+(** Hand an event to the active sink; no-op when none is installed. *)
+
+val flush : unit -> unit
+
+(** {1 Serialization} *)
+
+val to_json : event -> string
+(** One JSON object, no trailing newline. *)
+
+val of_json : string -> (event, string) result
+(** Parse one line produced by [to_json]. *)
+
+val read_jsonl : in_channel -> (event list, string) result
+(** Read a whole JSONL stream (blank lines skipped); stops at the first
+    malformed line with an error naming its line number. *)
+
+(** {1 Rendering} *)
+
+val output_summary : out_channel -> event list -> unit
+(** Render a span tree — siblings aggregated by name, with call counts and
+    total/self wall time — followed by a metrics section, to an explicit
+    channel. Orphan spans (parent id absent from the stream) are promoted
+    to roots. *)
+
+val output_metrics : out_channel -> metric list -> unit
+(** Just the metrics section of [output_summary]. *)

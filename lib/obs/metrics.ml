@@ -1,0 +1,100 @@
+type kind = Counter | Gauge | Histogram
+
+type snapshot = { name : string; kind : kind; fields : (string * float) list }
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let on = ref false
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let counters : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histograms
+
+let cell table name =
+  match Hashtbl.find_opt table name with
+  | Some c -> c
+  | None ->
+    let c = ref 0.0 in
+    Hashtbl.replace table name c;
+    c
+
+let incr ?(by = 1.0) name =
+  if !on then begin
+    let c = cell counters name in
+    c := !c +. by
+  end
+
+let set name v = if !on then cell gauges name := v
+
+let observe name v =
+  if !on then begin
+    let h =
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h = { count = 0; sum = 0.0; mn = Float.infinity; mx = Float.neg_infinity } in
+        Hashtbl.replace histograms name h;
+        h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    h.mn <- Float.min h.mn v;
+    h.mx <- Float.max h.mx v
+  end
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
+
+let snapshot () =
+  let scalars kind table =
+    Hashtbl.fold (fun name c acc -> { name; kind; fields = [ ("value", !c) ] } :: acc) table []
+  in
+  let hists =
+    Hashtbl.fold
+      (fun name h acc ->
+        {
+          name;
+          kind = Histogram;
+          fields =
+            [
+              ("count", float_of_int h.count);
+              ("sum", h.sum);
+              ("mean", (if h.count = 0 then Float.nan else h.sum /. float_of_int h.count));
+              ("min", h.mn);
+              ("max", h.mx);
+            ];
+        }
+        :: acc)
+      histograms []
+  in
+  List.sort
+    (fun a b ->
+      match String.compare (kind_name a.kind) (kind_name b.kind) with
+      | 0 -> String.compare a.name b.name
+      | c -> c)
+    (scalars Counter counters @ scalars Gauge gauges @ hists)
+
+let events () =
+  List.map
+    (fun s ->
+      Export.Metric { Export.metric_name = s.name; kind = kind_name s.kind; fields = s.fields })
+    (snapshot ())
+
+let output oc =
+  Export.output_metrics oc
+    (List.map
+       (fun s -> { Export.metric_name = s.name; kind = kind_name s.kind; fields = s.fields })
+       (snapshot ()))

@@ -1,0 +1,46 @@
+(** Process-wide registry of counters, gauges and histograms.
+
+    Disabled by default: every recording call is a single branch until
+    [enable] is called, so instrumentation left in hot paths is free.
+    Metrics are registered lazily by name at first use; kinds live in
+    separate namespaces (a counter and a gauge may share a name, though
+    instrumented code should not do that).
+
+    Like [Span], the registry is process-global and single-threaded. *)
+
+type kind = Counter | Gauge | Histogram
+
+type snapshot = {
+  name : string;
+  kind : kind;
+  fields : (string * float) list;
+      (** counters/gauges: [("value", v)]; histograms: count, sum, mean,
+          min, max *)
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val incr : ?by:float -> string -> unit
+(** Add [by] (default 1) to a counter. *)
+
+val set : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Record one sample into a histogram (count/sum/min/max aggregation). *)
+
+val snapshot : unit -> snapshot list
+(** Current state of every registered metric, sorted by (kind, name). *)
+
+val events : unit -> Export.event list
+(** [snapshot] rendered as {!Export.Metric} events, ready to append to a
+    trace stream. *)
+
+val output : out_channel -> unit
+(** Render the current snapshot as the text metrics table (channel
+    supplied by the caller; library code never writes to stdout). *)
+
+val reset : unit -> unit
+(** Drop every registered metric (does not change enablement). *)

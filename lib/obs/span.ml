@@ -1,0 +1,56 @@
+type live = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_s : float;
+  mutable attrs : (string * Export.value) list;  (* reverse order *)
+}
+
+type t = Disabled | Live of live
+
+let next_id = ref 0
+
+(* Innermost running span first. Single-threaded by assumption (as is the
+   rest of the library: solver, pipeline and RNG state are not shared). *)
+let stack : live list ref = ref []
+
+let enabled () = Export.tracing ()
+
+let reset () =
+  next_id := 0;
+  stack := []
+
+let set t key v =
+  match t with
+  | Disabled -> ()
+  | Live l -> l.attrs <- (key, v) :: List.filter (fun (k, _) -> not (String.equal k key)) l.attrs
+
+let set_float t key v = set t key (Export.Float v)
+let set_int t key v = set t key (Export.Int v)
+let set_str t key v = set t key (Export.Str v)
+let set_bool t key v = set t key (Export.Bool v)
+
+let with_ ?(attrs = []) name f =
+  if not (Export.tracing ()) then f Disabled
+  else begin
+    incr next_id;
+    let parent = match !stack with [] -> None | l :: _ -> Some l.id in
+    let live =
+      { id = !next_id; parent; name; start_s = Clock.now (); attrs = List.rev attrs }
+    in
+    stack := live :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        stack := List.filter (fun l -> l.id <> live.id) !stack;
+        Export.emit
+          (Export.Span
+             {
+               Export.id = live.id;
+               parent = live.parent;
+               name = live.name;
+               start_s = live.start_s;
+               stop_s = Clock.now ();
+               attrs = List.rev live.attrs;
+             }))
+      (fun () -> f (Live live))
+  end

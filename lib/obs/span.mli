@@ -1,0 +1,35 @@
+(** Hierarchical timed spans.
+
+    [with_ name f] times [f] and emits a single {!Export.Span} event when
+    it returns (normally or by exception). Nesting is implicit: a span
+    opened while another is running records it as its parent, so the
+    exporter can rebuild the call tree from parent ids alone.
+
+    When no sink is installed ({!Export.tracing} is [false]) the whole
+    mechanism degenerates to one branch: [f] runs with a dummy handle and
+    every [set_*] is a no-op — instrumentation left in hot paths costs
+    nothing when disabled. *)
+
+type t
+(** A handle on the currently running span (or a dummy when disabled). *)
+
+val with_ : ?attrs:(string * Export.value) list -> string -> (t -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span called [name], with optional
+    initial attributes. The span closes — and its event is emitted — when
+    [f] returns or raises. *)
+
+val set : t -> string -> Export.value -> unit
+(** Attach (or overwrite) an attribute on a running span. *)
+
+val set_float : t -> string -> float -> unit
+val set_int : t -> string -> int -> unit
+val set_str : t -> string -> string -> unit
+val set_bool : t -> string -> bool -> unit
+
+val enabled : unit -> bool
+(** Alias for {!Export.tracing}: [true] iff spans are being recorded.
+    Use it to skip computing expensive attribute values. *)
+
+val reset : unit -> unit
+(** Clear the span stack and restart ids from 1. Test helper: makes span
+    ids deterministic within a test case. *)

@@ -169,7 +169,7 @@ let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
     status = (if !converged then Converged else Stalled);
   }
 
-let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
+let solve_dispatch ~tol ~max_iter ~fail_on_stall problem =
   let n = problem.h.Mat.rows in
   assert (Array.length problem.g = n);
   match (problem.a_ineq, problem.b_ineq) with
@@ -200,3 +200,21 @@ let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
     assert (Array.length b = a.Mat.rows);
     solve_interior_point ~tol:(Float.max tol 1e-12) ~max_iter ~fail_on_stall problem a b
   | Some _, None -> invalid_arg "Qp.solve: a_ineq without b_ineq"
+
+let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
+  Obs.Span.with_ "qp.solve" (fun sp ->
+      Obs.Span.set_int sp "n" problem.h.Mat.rows;
+      Obs.Span.set_int sp "m_ineq"
+        (match problem.a_ineq with Some a -> a.Mat.rows | None -> 0);
+      Obs.Span.set_int sp "m_eq" (match problem.c_eq with Some c -> c.Mat.rows | None -> 0);
+      let sol = solve_dispatch ~tol ~max_iter ~fail_on_stall problem in
+      Obs.Span.set_int sp "iterations" sol.iterations;
+      Obs.Span.set_int sp "active" (List.length sol.active);
+      Obs.Span.set_float sp "kkt_residual" sol.kkt_residual;
+      Obs.Span.set_str sp "status"
+        (match sol.status with Converged -> "converged" | Stalled -> "stalled");
+      Obs.Metrics.incr "qp.solves";
+      Obs.Metrics.incr ~by:(float_of_int sol.iterations) "qp.iterations";
+      Obs.Metrics.observe "qp.iterations_per_solve" (float_of_int sol.iterations);
+      Obs.Metrics.observe "qp.active_constraints" (float_of_int (List.length sol.active));
+      sol)

@@ -15,7 +15,10 @@ type attempt = {
   stage : stage;
   lambda : float;  (** smoothing strength used by this attempt *)
   ridge : float;  (** diagonal ridge added to the normal matrix *)
-  seconds : float;  (** wall-clock (processor) time spent on the attempt *)
+  seconds : float;
+      (** wall-clock time spent on the attempt, measured via [Obs.Clock]
+          (never [Sys.time], which is processor time and undercounts any
+          wait) *)
   outcome : (unit, Error.t) result;
 }
 

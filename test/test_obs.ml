@@ -1,0 +1,409 @@
+(* Observability layer: mock clock, span nesting, metric aggregation,
+   JSONL round-trip, zero-cost disabled path, and an end-to-end pipeline
+   smoke test asserting the span hierarchy. *)
+
+open Testutil
+
+(* Every test that installs a sink / enables metrics / touches the clock
+   cleans up through this wrapper so a failure cannot poison later tests. *)
+let with_clean_obs f () =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Export.uninstall ();
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ();
+      Obs.Span.reset ();
+      Obs.Clock.set_source Obs.Clock.wall)
+    f
+
+let span_of = function
+  | Obs.Export.Span s -> s
+  | Obs.Export.Metric m -> Alcotest.failf "expected a span, got metric %s" m.Obs.Export.metric_name
+
+let spans events = List.filter_map (function Obs.Export.Span s -> Some s | _ -> None) events
+
+let find_span name events =
+  match List.find_opt (fun s -> String.equal s.Obs.Export.name name) (spans events) with
+  | Some s -> s
+  | None -> Alcotest.failf "no span named %s in trace" name
+
+(* ---------------- clock ---------------- *)
+
+let test_manual_clock () =
+  let source, advance = Obs.Clock.manual ~start:10.0 () in
+  Obs.Clock.with_source source (fun () ->
+      Alcotest.(check (float 0.0)) "start" 10.0 (Obs.Clock.now ());
+      advance 2.5;
+      Alcotest.(check (float 0.0)) "advanced" 12.5 (Obs.Clock.now ()))
+
+let test_clock_monotonic_clamp () =
+  let t = ref 5.0 in
+  Obs.Clock.with_source (fun () -> !t) (fun () ->
+      Alcotest.(check (float 0.0)) "first read" 5.0 (Obs.Clock.now ());
+      t := 3.0;
+      (* the source stepped backwards; [now] must not *)
+      Alcotest.(check (float 0.0)) "clamped" 5.0 (Obs.Clock.now ());
+      t := 7.0;
+      Alcotest.(check (float 0.0)) "resumes" 7.0 (Obs.Clock.now ()))
+
+let test_with_source_restores () =
+  let source, _ = Obs.Clock.manual ~start:42.0 () in
+  let before = Obs.Clock.now () in
+  (try Obs.Clock.with_source source (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "wall clock restored after exception" true (Obs.Clock.now () >= before)
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting =
+  with_clean_obs @@ fun () ->
+  let source, advance = Obs.Clock.manual () in
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Obs.Clock.with_source source (fun () ->
+      Obs.Span.with_ "outer" (fun outer ->
+          Obs.Span.set_int outer "k" 1;
+          advance 1.0;
+          Obs.Span.with_ "first" (fun _ -> advance 0.25);
+          Obs.Span.with_ "second" (fun sp ->
+              Obs.Span.set_str sp "tag" "x";
+              advance 0.5)));
+  match recorded () with
+  | [ first; second; outer ] ->
+    let first = span_of first and second = span_of second and outer = span_of outer in
+    Alcotest.(check string) "close order: first child" "first" first.Obs.Export.name;
+    Alcotest.(check string) "close order: second child" "second" second.Obs.Export.name;
+    Alcotest.(check string) "close order: outer last" "outer" outer.Obs.Export.name;
+    Alcotest.(check (option int)) "outer is root" None outer.Obs.Export.parent;
+    Alcotest.(check (option int)) "first under outer" (Some outer.Obs.Export.id)
+      first.Obs.Export.parent;
+    Alcotest.(check (option int)) "second under outer" (Some outer.Obs.Export.id)
+      second.Obs.Export.parent;
+    Alcotest.(check (float 0.0)) "first duration" 0.25
+      (first.Obs.Export.stop_s -. first.Obs.Export.start_s);
+    Alcotest.(check (float 0.0)) "second duration" 0.5
+      (second.Obs.Export.stop_s -. second.Obs.Export.start_s);
+    Alcotest.(check (float 0.0)) "outer duration" 1.75
+      (outer.Obs.Export.stop_s -. outer.Obs.Export.start_s);
+    Alcotest.(check bool) "outer kept its attr" true
+      (List.mem_assoc "k" outer.Obs.Export.attrs)
+  | evs -> Alcotest.failf "expected 3 spans, got %d events" (List.length evs)
+
+let test_span_emits_on_exception =
+  with_clean_obs @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  (try Obs.Span.with_ "doomed" (fun _ -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "span still emitted" 1 (List.length (spans (recorded ())));
+  (* the stack must be clean: a fresh span is a root, not a child of [doomed] *)
+  Obs.Span.with_ "after" (fun _ -> ());
+  let after = find_span "after" (recorded ()) in
+  Alcotest.(check (option int)) "stack popped on exception" None after.Obs.Export.parent
+
+let test_span_disabled_is_noop =
+  with_clean_obs @@ fun () ->
+  Alcotest.(check bool) "tracing off" false (Obs.Span.enabled ());
+  let r =
+    Obs.Span.with_ "invisible" (fun sp ->
+        Obs.Span.set_float sp "x" 1.0;
+        17)
+  in
+  Alcotest.(check int) "body result passes through" 17 r;
+  (* installing a sink afterwards must see nothing retroactively *)
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Alcotest.(check int) "no events recorded while disabled" 0 (List.length (recorded ()))
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_disabled_noop =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.incr "c";
+  Obs.Metrics.set "g" 1.0;
+  Obs.Metrics.observe "h" 2.0;
+  Alcotest.(check int) "nothing registered while disabled" 0
+    (List.length (Obs.Metrics.snapshot ()))
+
+let test_metrics_aggregation =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  Obs.Metrics.incr "solves";
+  Obs.Metrics.incr ~by:3.0 "solves";
+  Obs.Metrics.set "condition" 10.0;
+  Obs.Metrics.set "condition" 4.0;
+  Obs.Metrics.observe "iters" 2.0;
+  Obs.Metrics.observe "iters" 6.0;
+  Obs.Metrics.observe "iters" 4.0;
+  let field snap name =
+    match List.assoc_opt name snap.Obs.Metrics.fields with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s has no field %s" snap.Obs.Metrics.name name
+  in
+  let by_name name =
+    match
+      List.find_opt (fun s -> String.equal s.Obs.Metrics.name name) (Obs.Metrics.snapshot ())
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "no metric named %s" name
+  in
+  Alcotest.(check (float 0.0)) "counter accumulates" 4.0 (field (by_name "solves") "value");
+  Alcotest.(check (float 0.0)) "gauge keeps latest" 4.0 (field (by_name "condition") "value");
+  let h = by_name "iters" in
+  Alcotest.(check (float 0.0)) "histogram count" 3.0 (field h "count");
+  Alcotest.(check (float 0.0)) "histogram sum" 12.0 (field h "sum");
+  Alcotest.(check (float 0.0)) "histogram mean" 4.0 (field h "mean");
+  Alcotest.(check (float 0.0)) "histogram min" 2.0 (field h "min");
+  Alcotest.(check (float 0.0)) "histogram max" 6.0 (field h "max")
+
+let test_metrics_events_round_trip =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  Obs.Metrics.incr ~by:2.0 "qp.solves";
+  Obs.Metrics.observe "qp.iters" 5.0;
+  List.iter
+    (fun ev ->
+      let line = Obs.Export.to_json ev in
+      match Obs.Export.of_json line with
+      | Ok ev' ->
+        Alcotest.(check string) ("round-trip " ^ line) line (Obs.Export.to_json ev')
+      | Error msg -> Alcotest.failf "could not parse %s: %s" line msg)
+    (Obs.Metrics.events ())
+
+(* ---------------- export ---------------- *)
+
+let nasty = "quote\" backslash\\ newline\n tab\t ctrl\x02 del\x7f utf8 \xc3\xa9"
+
+let test_json_escaping () =
+  let ev =
+    Obs.Export.Span
+      { Obs.Export.id = 1; parent = None; name = nasty; start_s = 0.0; stop_s = 1.0;
+        attrs = [ ("s", Obs.Export.Str nasty) ] }
+  in
+  let line = Obs.Export.to_json ev in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  match Obs.Export.of_json line with
+  | Ok (Obs.Export.Span s) ->
+    Alcotest.(check string) "name survives escaping" nasty s.Obs.Export.name;
+    (match List.assoc_opt "s" s.Obs.Export.attrs with
+    | Some (Obs.Export.Str v) -> Alcotest.(check string) "attr survives escaping" nasty v
+    | _ -> Alcotest.fail "attr s missing or wrong type")
+  | Ok _ -> Alcotest.fail "parsed to a metric"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_value_types () =
+  let ev =
+    Obs.Export.Span
+      { Obs.Export.id = 3; parent = Some 2; name = "typed"; start_s = 0.5; stop_s = 0.75;
+        attrs =
+          [ ("f", Obs.Export.Float 1.25); ("neg", Obs.Export.Float (-0.001));
+            ("i", Obs.Export.Int (-7)); ("b", Obs.Export.Bool true);
+            ("s", Obs.Export.Str "plain") ] }
+  in
+  let line = Obs.Export.to_json ev in
+  match Obs.Export.of_json line with
+  | Ok ev' ->
+    Alcotest.(check string) "fixed point" line (Obs.Export.to_json ev');
+    let s = span_of ev' in
+    Alcotest.(check (option int)) "parent" (Some 2) s.Obs.Export.parent;
+    (match List.assoc_opt "i" s.Obs.Export.attrs with
+    | Some (Obs.Export.Int -7) -> ()
+    | _ -> Alcotest.fail "Int attr did not round-trip as Int");
+    (match List.assoc_opt "f" s.Obs.Export.attrs with
+    | Some (Obs.Export.Float v) -> Alcotest.(check (float 0.0)) "float value" 1.25 v
+    | _ -> Alcotest.fail "Float attr did not round-trip as Float")
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun line ->
+      match Obs.Export.of_json line with
+      | Ok _ -> Alcotest.failf "accepted malformed input: %s" line
+      | Error _ -> ())
+    [
+      ""; "{"; "{\"ev\":\"span\"}"; "not json at all";
+      "{\"ev\":\"span\",\"id\":1,\"name\":\"x\",\"start\":0,\"stop\":\"oops\",\"parent\":null,\"attrs\":{}}";
+      "{\"ev\":\"mystery\",\"id\":1}";
+    ]
+
+let test_read_jsonl =
+  with_clean_obs @@ fun () ->
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let source, advance = Obs.Clock.manual () in
+      let oc = open_out path in
+      Obs.Export.install (Obs.Export.jsonl oc);
+      Obs.Metrics.enable ();
+      Obs.Clock.with_source source (fun () ->
+          Obs.Span.with_ "root" (fun _ ->
+              advance 1.0;
+              Obs.Span.with_ "leaf" (fun _ -> advance 0.5);
+              Obs.Metrics.incr "n"));
+      List.iter Obs.Export.emit (Obs.Metrics.events ());
+      Obs.Export.uninstall ();
+      close_out oc;
+      let ic = open_in path in
+      let events =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Obs.Export.read_jsonl ic)
+      in
+      match events with
+      | Error msg -> Alcotest.failf "read_jsonl failed: %s" msg
+      | Ok events ->
+        Alcotest.(check int) "two spans and one metric" 3 (List.length events);
+        let root = find_span "root" events and leaf = find_span "leaf" events in
+        Alcotest.(check (option int)) "leaf under root" (Some root.Obs.Export.id)
+          leaf.Obs.Export.parent;
+        (match List.rev events with
+        | Obs.Export.Metric m :: _ ->
+          Alcotest.(check string) "metric name" "n" m.Obs.Export.metric_name
+        | _ -> Alcotest.fail "metrics should follow spans in the stream"))
+
+let test_read_jsonl_reports_line =
+  with_clean_obs @@ fun () ->
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "{\"ev\":\"metric\",\"name\":\"ok\",\"kind\":\"counter\",\"fields\":{\"value\":1.0}}\n\n{broken\n";
+      close_out oc;
+      let ic = open_in path in
+      let r = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Obs.Export.read_jsonl ic) in
+      match r with
+      | Ok _ -> Alcotest.fail "accepted a malformed line"
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names line 3 (got %S)" msg)
+          true
+          (String.length msg >= 6))
+
+(* ---------------- pipeline smoke test ---------------- *)
+
+let ancestors events =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Obs.Export.id s) (spans events);
+  fun (s : Obs.Export.span) ->
+    let rec up acc = function
+      | None -> List.rev acc
+      | Some id -> (
+        match Hashtbl.find_opt by_id id with
+        | None -> List.rev acc
+        | Some p -> up (p.Obs.Export.name :: acc) p.Obs.Export.parent)
+    in
+    up [] s.Obs.Export.parent
+
+let test_pipeline_span_hierarchy =
+  with_clean_obs @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Obs.Metrics.enable ();
+  let times = Array.init 6 (fun i -> 30.0 *. float_of_int i) in
+  let config =
+    { (Deconv.Pipeline.default_config ~times) with
+      Deconv.Pipeline.n_cells_kernel = 300;
+      n_cells_data = 300;
+      n_phi = 41;
+      num_knots = 8;
+      selection = `Fixed 1e-4;
+      seed = 11;
+    }
+  in
+  let profile phi = 1.0 +. (0.5 *. Float.sin (2.0 *. Float.pi *. phi)) in
+  let _run = Deconv.Pipeline.run config ~profile in
+  let events = recorded () in
+  let up = ancestors events in
+  let check_under span_name ancestor_name =
+    let s = find_span span_name events in
+    let anc = up s in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s under %s (ancestors: %s)" span_name ancestor_name
+         (String.concat " < " anc))
+      true
+      (List.mem ancestor_name anc)
+  in
+  let root = find_span "pipeline.run" events in
+  Alcotest.(check (option int)) "pipeline.run is the root" None root.Obs.Export.parent;
+  check_under "kernel.estimate" "pipeline.kernel";
+  check_under "population.simulate" "kernel.estimate";
+  check_under "qp.solve" "pipeline.solve";
+  check_under "qp.solve" "pipeline.run";
+  check_under "solver.constrained" "solver.solve_robust";
+  check_under "solver.attempt" "pipeline.solve";
+  (* metrics flowed alongside the spans *)
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "cells counter registered" true
+    (List.exists
+       (fun s -> String.equal s.Obs.Metrics.name "population.cells_simulated")
+       snap);
+  Alcotest.(check bool) "qp counter registered" true
+    (List.exists (fun s -> String.equal s.Obs.Metrics.name "qp.solves") snap)
+
+let test_pipeline_lambda_spans =
+  with_clean_obs @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  let times = Array.init 6 (fun i -> 30.0 *. float_of_int i) in
+  let config =
+    { (Deconv.Pipeline.default_config ~times) with
+      Deconv.Pipeline.n_cells_kernel = 300;
+      n_cells_data = 300;
+      n_phi = 41;
+      num_knots = 8;
+      selection = `Gcv;
+      seed = 12;
+    }
+  in
+  let profile phi = 1.0 +. (0.5 *. Float.sin (2.0 *. Float.pi *. phi)) in
+  let _run = Deconv.Pipeline.run config ~profile in
+  let events = recorded () in
+  let up = ancestors events in
+  let candidate = find_span "lambda.candidate" events in
+  Alcotest.(check bool) "lambda.candidate under lambda.select" true
+    (List.mem "lambda.select" (up candidate));
+  let select = find_span "lambda.select" events in
+  Alcotest.(check bool) "lambda.select under pipeline.lambda" true
+    (List.mem "pipeline.lambda" (up select));
+  Alcotest.(check bool) "several candidates traced" true
+    (List.length
+       (List.filter
+          (fun s -> String.equal s.Obs.Export.name "lambda.candidate")
+          (spans events))
+    > 1)
+
+let tests =
+  [
+    ( "obs-clock",
+      [
+        case "manual source" test_manual_clock;
+        case "monotonic clamp" test_clock_monotonic_clamp;
+        case "with_source restores" test_with_source_restores;
+      ] );
+    ( "obs-span",
+      [
+        case "nesting, order and timing" test_span_nesting;
+        case "emits on exception" test_span_emits_on_exception;
+        case "disabled is a no-op" test_span_disabled_is_noop;
+      ] );
+    ( "obs-metrics",
+      [
+        case "disabled is a no-op" test_metrics_disabled_noop;
+        case "counter, gauge, histogram" test_metrics_aggregation;
+        case "events round-trip" test_metrics_events_round_trip;
+      ] );
+    ( "obs-export",
+      [
+        case "string escaping" test_json_escaping;
+        case "value types round-trip" test_json_value_types;
+        case "rejects malformed lines" test_json_rejects_malformed;
+        case "jsonl write and read back" test_read_jsonl;
+        case "malformed line reported" test_read_jsonl_reports_line;
+      ] );
+    ( "obs-pipeline",
+      [
+        case "span hierarchy end to end" test_pipeline_span_hierarchy;
+        case "lambda selection spans" test_pipeline_lambda_spans;
+      ] );
+  ]
