@@ -1396,19 +1396,184 @@ let micro () =
       Dataio.Table.add_row t [| float_of_int i; ns |])
     fits;
   if !json_out then begin
+    (* Merge into the trajectory instead of clobbering it: micro fits are
+       upserted keyed by (name, rev), so re-running refreshes this
+       revision's numbers while macro history and other revisions stay. *)
     let path = "BENCH_deconv.json" in
-    let oc = open_out path in
-    let fnum v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null" in
-    output_string oc "{\"suite\":\"deconv\",\"results\":[\n";
-    List.iteri
-      (fun i (name, ns, r2) ->
-        Printf.fprintf oc "  {\"name\":\"%s\",\"ns_per_run\":%s,\"r_square\":%s}%s\n" name
-          (fnum ns) (fnum r2)
-          (if i < List.length fits - 1 then "," else ""))
-      fits;
-    output_string oc "]}\n";
-    close_out oc;
-    Printf.printf "wrote OLS fits for %d kernels to %s\n" (List.length fits) path
+    let rev = Obs.Trajectory.git_rev () in
+    let existing =
+      match Obs.Trajectory.load ~path with
+      | Ok t -> t
+      | Error msg ->
+        Printf.eprintf "warning: %s unreadable (%s); starting a fresh trajectory\n" path msg;
+        Obs.Trajectory.empty
+    in
+    let merged =
+      List.fold_left
+        (fun t (name, ns, r2) ->
+          Obs.Trajectory.upsert t
+            {
+              Obs.Trajectory.name;
+              rev;
+              kind = Obs.Trajectory.Micro;
+              ns_per_run = ns;
+              r_square = r2;
+              runs = 0;
+              iterations = Float.nan;
+            })
+        existing fits
+    in
+    Obs.Trajectory.save merged ~path;
+    Printf.printf "merged OLS fits for %d kernels into %s (rev %s, %d records total)\n"
+      (List.length fits) path rev
+      (List.length (Obs.Trajectory.records merged))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Macro benchmark: end-to-end Pipeline.run timed through Obs spans.   *)
+(* ------------------------------------------------------------------ *)
+
+let macro_profile phi = 1.0 +. (0.5 *. Float.sin (2.0 *. Float.pi *. phi))
+
+(* One traced pipeline run: returns the recorded event stream. The memory
+   sink is installed only for the duration of the run so span timings come
+   from Obs.Clock (rule R7: no raw timing calls outside lib/obs). *)
+let run_macro_once config =
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Fun.protect
+    ~finally:(fun () -> Obs.Export.uninstall ())
+    (fun () -> ignore (Deconv.Pipeline.run config ~profile:macro_profile));
+  recorded ()
+
+let span_total_ns name events =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Obs.Export.Span s when String.equal s.Obs.Export.name name ->
+        acc +. (1e9 *. (s.Obs.Export.stop_s -. s.Obs.Export.start_s))
+      | _ -> acc)
+    0.0 events
+
+let qp_iterations_total events =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Obs.Export.Span s when String.equal s.Obs.Export.name "qp.solve" ->
+        (match List.assoc_opt "iterations" s.Obs.Export.attrs with
+        | Some (Obs.Export.Int i) -> acc +. float_of_int i
+        | _ -> acc)
+      | _ -> acc)
+    0.0 events
+
+let macro_section ~smoke () =
+  section
+    (if smoke then "macro_smoke (tiny pipeline, schema check only)"
+     else "macro (end-to-end pipeline via Obs spans)");
+  let times = Array.init 6 (fun i -> 30.0 *. float_of_int i) in
+  let config =
+    if smoke then
+      { (Deconv.Pipeline.default_config ~times) with
+        Deconv.Pipeline.n_cells_kernel = 200;
+        n_cells_data = 200;
+        n_phi = 31;
+        num_knots = 8;
+        selection = `Fixed 1e-4;
+        seed = 21;
+      }
+    else
+      { (Deconv.Pipeline.default_config ~times) with
+        Deconv.Pipeline.n_cells_kernel = 1000;
+        n_cells_data = 1000;
+        n_phi = 101;
+        num_knots = 12;
+        selection = `Gcv;
+        seed = 21;
+      }
+  in
+  let runs = if smoke then 1 else 3 in
+  (* One untimed warm-up run: the first pipeline execution pays allocator
+     and cache warm-up that would otherwise skew the recorded means (the
+     sub-millisecond stages by 2x or more). *)
+  if not smoke then ignore (run_macro_once config);
+  let traces = List.init runs (fun _ -> run_macro_once config) in
+  let mean f = List.fold_left (fun acc t -> acc +. f t) 0.0 traces /. float_of_int runs in
+  let rev = Obs.Trajectory.git_rev () in
+  let record name ns iters =
+    {
+      Obs.Trajectory.name;
+      rev;
+      kind = Obs.Trajectory.Macro;
+      ns_per_run = ns;
+      (* Macro timings are plain means over [runs], not OLS fits; NaN marks
+         "no fit" and exempts the record from the r² noise gate. *)
+      r_square = Float.nan;
+      runs;
+      iterations = iters;
+    }
+  in
+  let records =
+    [
+      record "macro.pipeline_run" (mean (span_total_ns "pipeline.run")) (mean qp_iterations_total);
+      record "macro.kernel_estimate" (mean (span_total_ns "kernel.estimate")) Float.nan;
+      record "macro.lambda_select" (mean (span_total_ns "pipeline.lambda")) Float.nan;
+      record "macro.solve" (mean (span_total_ns "pipeline.solve")) (mean qp_iterations_total);
+    ]
+  in
+  List.iter
+    (fun (r : Obs.Trajectory.record) ->
+      Printf.printf "  %-28s %14.0f ns/run  (mean of %d, %s qp iters)\n" r.Obs.Trajectory.name
+        r.Obs.Trajectory.ns_per_run r.Obs.Trajectory.runs
+        (if Float.is_finite r.Obs.Trajectory.iterations then
+           Printf.sprintf "%.0f" r.Obs.Trajectory.iterations
+         else "n/a"))
+    records;
+  if smoke then begin
+    (* Smoke mode never touches the real trajectory: write a scratch file,
+       reload it, and assert only schema validity — no timing assertions,
+       so the check is deterministic. *)
+    let path = "BENCH_smoke.json" in
+    let t = List.fold_left Obs.Trajectory.append Obs.Trajectory.empty records in
+    Obs.Trajectory.save t ~path;
+    match Obs.Trajectory.load ~path with
+    | Error msg ->
+      Printf.eprintf "bench-smoke: reload failed: %s\n" msg;
+      exit 1
+    | Ok loaded ->
+      let loaded_records = Obs.Trajectory.records loaded in
+      let valid (r : Obs.Trajectory.record) =
+        String.length r.Obs.Trajectory.name > 0
+        && Float.is_finite r.Obs.Trajectory.ns_per_run
+        && r.Obs.Trajectory.ns_per_run >= 0.0
+        && r.Obs.Trajectory.runs = runs
+        && String.length r.Obs.Trajectory.rev > 0
+      in
+      if
+        List.length loaded_records = List.length records
+        && List.for_all valid loaded_records
+      then Printf.printf "  bench-smoke: %d records round-tripped, schema ok\n"
+             (List.length loaded_records)
+      else begin
+        Printf.eprintf "bench-smoke: record schema validation failed\n";
+        exit 1
+      end
+  end
+  else begin
+    let path = "BENCH_deconv.json" in
+    let existing =
+      match Obs.Trajectory.load ~path with
+      | Ok t -> t
+      | Error msg ->
+        Printf.eprintf "warning: %s unreadable (%s); starting a fresh trajectory\n" path msg;
+        Obs.Trajectory.empty
+    in
+    (* Append, never upsert: every macro run adds a point to the history,
+       which is what `bench compare` diffs. *)
+    let merged = List.fold_left Obs.Trajectory.append existing records in
+    Obs.Trajectory.save merged ~path;
+    Printf.printf "appended %d macro records to %s (rev %s, %d records total)\n"
+      (List.length records) path rev
+      (List.length (Obs.Trajectory.records merged))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1444,6 +1609,8 @@ let sections =
     ("ext_other_oscillators", ext_other_oscillators);
     ("ext_recovery_study", ext_recovery_study);
     ("micro", micro);
+    ("macro", macro_section ~smoke:false);
+    ("macro_smoke", macro_section ~smoke:true);
   ]
 
 let () =

@@ -7,6 +7,8 @@
      celltypes       print simulated cell-type fractions over time
      identifiability singular spectrum of the forward operator for a schedule
      schedule        D-optimal measurement times for a sampling budget
+     trace           summarize / convergence-plot / selfcheck observability traces
+     bench           compare the newest benchmark records against a baseline
 *)
 
 open Numerics
@@ -524,13 +526,24 @@ let trace_summarize_cmd =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"TRACE.JSONL" ~doc:"Trace written by `deconvolve --trace`.")
   in
-  let run file =
+  let top_arg =
+    Arg.(value & opt (some int) None
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Also print the flat top-$(docv) span names by total wall time \
+                   (call count, total and self time); 0 prints every name.")
+  in
+  let run file top =
     let ic = open_in file in
     let events = Obs.Export.read_jsonl ic in
     close_in ic;
     match events with
     | Ok events ->
       Obs.Export.output_summary stdout events;
+      (match top with
+      | Some n ->
+        print_newline ();
+        Obs.Export.output_top stdout ~top:n events
+      | None -> ());
       0
     | Error msg ->
       Printf.eprintf "error: %s: %s\n" file msg;
@@ -539,7 +552,146 @@ let trace_summarize_cmd =
   Cmd.v
     (Cmd.info "summarize"
        ~doc:"Render a JSONL trace as an aggregated span tree with a metrics table.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ top_arg)
+
+(* ---------------- trace convergence ---------------- *)
+
+(* Per-iteration telemetry points grouped per enclosing solve span, plotted
+   as residual-vs-iteration curves. The iteration count shown per solve is
+   the point count, which the emitters keep equal to the solver's own
+   [iterations] result. *)
+let trace_convergence_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.JSONL" ~doc:"Trace written by `deconvolve --trace`.")
+  in
+  let series_arg =
+    Arg.(value & opt (some string) None
+         & info [ "series" ] ~docv:"NAME"
+             ~doc:"Only plot this telemetry series (e.g. qp.iteration or rl.iteration).")
+  in
+  let run file only_series =
+    let ic = open_in file in
+    let events = Obs.Export.read_jsonl ic in
+    close_in ic;
+    match events with
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      1
+    | Ok events ->
+      let points =
+        List.filter_map (function Obs.Export.Point p -> Some p | _ -> None) events
+      in
+      let points =
+        match only_series with
+        | None -> points
+        | Some s -> List.filter (fun p -> String.equal p.Obs.Export.series s) points
+      in
+      let span_by_id id =
+        List.find_map
+          (function
+            | Obs.Export.Span s when s.Obs.Export.id = id -> Some s
+            | _ -> None)
+          events
+      in
+      (* Group points by (series, enclosing span), preserving first-seen
+         order so curves print in solve order. *)
+      let groups = ref [] in
+      List.iter
+        (fun (p : Obs.Export.point) ->
+          let key = (p.Obs.Export.series, p.Obs.Export.span_id) in
+          match List.assoc_opt key !groups with
+          | Some cell -> cell := p :: !cell
+          | None -> groups := !groups @ [ (key, ref [ p ]) ])
+        points;
+      if !groups = [] then begin
+        Printf.printf
+          "no convergence telemetry in %s (record the trace with `deconvolve --trace`)\n" file;
+        0
+      end
+      else begin
+        List.iter
+          (fun ((series, span_id), cell) ->
+            let pts = List.rev !cell in
+            (* The plotted quantity: residual-like field of the series. *)
+            let value_key =
+              let has k =
+                match pts with
+                | p :: _ -> List.mem_assoc k p.Obs.Export.values
+                | [] -> false
+              in
+              if has "kkt_residual" then "kkt_residual"
+              else if has "rel_change" then "rel_change"
+              else
+                match pts with
+                | { Obs.Export.values = (k, _) :: _; _ } :: _ -> k
+                | _ -> ""
+            in
+            let xs =
+              Array.of_list (List.map (fun p -> float_of_int p.Obs.Export.iter) pts)
+            in
+            let ys =
+              Array.of_list
+                (List.map
+                   (fun (p : Obs.Export.point) ->
+                     let v =
+                       match List.assoc_opt value_key p.Obs.Export.values with
+                       | Some v -> v
+                       | None -> Float.nan
+                     in
+                     Float.log10 (Float.max 1e-300 v))
+                   pts)
+            in
+            let context =
+              match span_id with
+              | None -> "(no enclosing span)"
+              | Some id -> (
+                match span_by_id id with
+                | None -> Printf.sprintf "span %d" id
+                | Some s ->
+                  let status =
+                    match List.assoc_opt "status" s.Obs.Export.attrs with
+                    | Some (Obs.Export.Str st) -> ", " ^ st
+                    | _ -> ""
+                  in
+                  Printf.sprintf "%s (span %d%s)" s.Obs.Export.name id status)
+            in
+            Printf.printf "%s %s — %d iterations\n" series context (List.length pts);
+            Dataio.Ascii_plot.output stdout
+              ~title:(Printf.sprintf "log10(%s) vs iteration" value_key)
+              [ { Dataio.Ascii_plot.label = value_key; glyph = 'o'; xs; ys } ];
+            (* Flag pathologies: a stalled solve, and non-monotone phases
+               where the residual rose between consecutive iterations. *)
+            let rises = ref 0 in
+            Array.iteri
+              (fun i y -> if i > 0 && y > ys.(i - 1) +. 1e-12 then incr rises)
+              ys;
+            if !rises > 0 then
+              Printf.printf "  non-monotone: %s rose on %d of %d steps\n" value_key !rises
+                (Array.length ys - 1);
+            (match span_id with
+            | Some id -> (
+              match span_by_id id with
+              | Some s
+                when (match List.assoc_opt "status" s.Obs.Export.attrs with
+                     | Some (Obs.Export.Str "stalled") -> true
+                     | _ -> false) ->
+                Printf.printf "  STALL: solver hit its iteration limit before converging\n"
+              | _ -> ())
+            | None -> ());
+            let n = Array.length ys in
+            if n >= 6 && ys.(n - 1) > ys.(n - 6) -. 0.01 then
+              Printf.printf
+                "  plateau: less than 0.01 decades of progress over the last 5 iterations\n";
+            print_newline ())
+          !groups;
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"Plot per-solve convergence curves (KKT residual, RL relative change) from a trace.")
+    Term.(const run $ file_arg $ series_arg)
 
 let trace_selfcheck_cmd =
   let run () =
@@ -614,7 +766,70 @@ let trace_selfcheck_cmd =
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Inspect and validate observability traces.")
-    [ trace_summarize_cmd; trace_selfcheck_cmd ]
+    [ trace_summarize_cmd; trace_convergence_cmd; trace_selfcheck_cmd ]
+
+(* ---------------- bench ---------------- *)
+
+let bench_compare_cmd =
+  let file_arg =
+    Arg.(value & opt string "BENCH_deconv.json"
+         & info [ "file" ] ~docv:"FILE" ~doc:"Benchmark trajectory file.")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"REV"
+             ~doc:"Compare the newest record of each bench against its newest earlier record \
+                   at git revision $(docv) (default: the immediately preceding record).")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float Obs.Trajectory.default_thresholds.Obs.Trajectory.tolerance
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:"Relative slowdown tolerated before a regression fires (0.3 = 30%).")
+  in
+  let min_r2_arg =
+    Arg.(value & opt float Obs.Trajectory.default_thresholds.Obs.Trajectory.min_r_square
+         & info [ "min-r2" ] ~docv:"R2"
+             ~doc:"Skip gating records whose OLS fit has r_square below $(docv); records \
+                   without a fit (NaN r_square, e.g. macro means) are always gated.")
+  in
+  let run file baseline tolerance min_r2 =
+    match Obs.Trajectory.load ~path:file with
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      1
+    | Ok t when Obs.Trajectory.records t = [] ->
+      Printf.eprintf
+        "error: %s has no records; run `bench macro` or `bench micro --json` first\n" file;
+      1
+    | Ok t ->
+      let thresholds = { Obs.Trajectory.tolerance; min_r_square = min_r2 } in
+      let comparisons = Obs.Trajectory.compare_latest ?baseline_rev:baseline ~thresholds t in
+      Obs.Trajectory.output_comparisons stdout comparisons;
+      let gated =
+        List.filter
+          (fun c ->
+            match c.Obs.Trajectory.verdict with Obs.Trajectory.Skipped _ -> false | _ -> true)
+          comparisons
+      in
+      if Obs.Trajectory.has_regression comparisons then begin
+        Printf.printf "regression detected (tolerance %.0f%%)\n" (100.0 *. tolerance);
+        1
+      end
+      else begin
+        Printf.printf "no regressions across %d gated benches (tolerance %.0f%%)\n"
+          (List.length gated) (100.0 *. tolerance);
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff the newest benchmark records against a baseline; exit 1 on a regression.")
+    Term.(const run $ file_arg $ baseline_arg $ tolerance_arg $ min_r2_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Inspect the benchmark trajectory (BENCH_deconv.json).")
+    [ bench_compare_cmd ]
 
 (* ---------------- main ---------------- *)
 
@@ -626,5 +841,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; deconvolve_cmd; kernel_cmd; celltypes_cmd; identifiability_cmd;
-            schedule_cmd; calibrate_cmd; trace_cmd;
+            schedule_cmd; calibrate_cmd; trace_cmd; bench_cmd;
           ]))

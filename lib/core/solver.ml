@@ -233,9 +233,16 @@ let solve_robust_validated ~policy ~lambda problem =
   let attempts = ref [] in
   (* Attempt durations are wall-clock via Obs.Clock (never Sys.time, which
      is processor time and stands still while the process waits). *)
-  let record stage lam ridge t0 outcome =
+  let record ?(iters = 0) stage lam ridge t0 outcome =
     attempts :=
-      { Robust.Report.stage; lambda = lam; ridge; seconds = Obs.Clock.now () -. t0; outcome }
+      {
+        Robust.Report.stage;
+        lambda = lam;
+        ridge;
+        seconds = Obs.Clock.now () -. t0;
+        iterations = iters;
+        outcome;
+      }
       :: !attempts
   in
   (* Each cascade attempt is also a span on the observability stream, so a
@@ -309,9 +316,9 @@ let solve_robust_validated ~policy ~lambda problem =
           Obs.Span.set_int sp "retry" !k;
           Obs.Span.set_float sp "lambda" lam;
           Obs.Span.set_float sp "ridge" ridge;
-          let record stage l r t0 outcome =
+          let record ?iters stage l r t0 outcome =
             outcome_attr sp outcome;
-            record stage l r t0 outcome
+            record ?iters stage l r t0 outcome
           in
           let t0 = Obs.Clock.now () in
           match
@@ -327,15 +334,15 @@ let solve_robust_validated ~policy ~lambda problem =
         last_error := e
       | exception Optimize.Qp.Infeasible _ ->
         let e = Robust.Error.Qp_stalled { iterations = policy.qp_max_iter } in
-        record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+        record ~iters:policy.qp_max_iter Robust.Report.Constrained_qp lam ridge t0 (Error e);
         last_error := e
       | est, Optimize.Qp.Stalled ->
         let e = Robust.Error.Qp_stalled { iterations = est.qp_iterations } in
-        record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+        record ~iters:est.qp_iterations Robust.Report.Constrained_qp lam ridge t0 (Error e);
         last_error := e
       | est, Optimize.Qp.Converged ->
         if finite_estimate est then begin
-          record Robust.Report.Constrained_qp lam ridge t0 (Ok ());
+          record ~iters:est.qp_iterations Robust.Report.Constrained_qp lam ridge t0 (Ok ());
           let degradation =
             if !k = 0 && (not repaired) && Float.equal precondition_ridge 0.0 then 0
             else 1
@@ -344,7 +351,7 @@ let solve_robust_validated ~policy ~lambda problem =
         end
         else begin
           let e = Robust.Error.Non_finite { stage = "constrained QP solution" } in
-          record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+          record ~iters:est.qp_iterations Robust.Report.Constrained_qp lam ridge t0 (Error e);
           last_error := e
         end);
       incr k
@@ -361,9 +368,9 @@ let solve_robust_validated ~policy ~lambda problem =
       attempt_span "unconstrained" (fun sp ->
           Obs.Span.set_float sp "lambda" lam;
           Obs.Span.set_float sp "ridge" ridge;
-          let record stage l r t0 outcome =
+          let record ?iters stage l r t0 outcome =
             outcome_attr sp outcome;
-            record stage l r t0 outcome
+            record ?iters stage l r t0 outcome
           in
           let t0 = Obs.Clock.now () in
           match solve_unconstrained ~lambda:lam ~ridge problem with
@@ -376,7 +383,7 @@ let solve_robust_validated ~policy ~lambda problem =
         last_error := e
       | est ->
         if finite_estimate est then begin
-          record Robust.Report.Unconstrained lam ridge t0 (Ok ());
+          record ~iters:est.qp_iterations Robust.Report.Unconstrained lam ridge t0 (Ok ());
           result := Some (est, report Robust.Report.Unconstrained 2)
         end
         else begin
@@ -390,9 +397,9 @@ let solve_robust_validated ~policy ~lambda problem =
     if !result = None && policy.enable_richardson_lucy then begin
       attempt_span "richardson_lucy" (fun sp ->
           Obs.Span.set_float sp "lambda" lambda;
-          let record stage l r t0 outcome =
+          let record ?iters stage l r t0 outcome =
             outcome_attr sp outcome;
-            record stage l r t0 outcome
+            record ?iters stage l r t0 outcome
           in
           let t0 = Obs.Clock.now () in
           let measurements =
@@ -409,14 +416,15 @@ let solve_robust_validated ~policy ~lambda problem =
         record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
         last_error := e
       | rl ->
+        let iters = rl.Richardson_lucy.iterations in
         let est = estimate_of_richardson_lucy problem lambda rl in
         if finite_estimate est then begin
-          record Robust.Report.Richardson_lucy lambda 0.0 t0 (Ok ());
+          record ~iters Robust.Report.Richardson_lucy lambda 0.0 t0 (Ok ());
           result := Some (est, report Robust.Report.Richardson_lucy 3)
         end
         else begin
           let e = Robust.Error.Non_finite { stage = "Richardson-Lucy" } in
-          record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
+          record ~iters Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
           last_error := e
         end)
     end;

@@ -15,7 +15,14 @@ type metric = {
   fields : (string * float) list;
 }
 
-type event = Span of span | Metric of metric
+type point = {
+  series : string;
+  span_id : int option;
+  iter : int;
+  values : (string * float) list;
+}
+
+type event = Span of span | Metric of metric | Point of point
 
 (* ---------------- sinks ---------------- *)
 
@@ -91,6 +98,12 @@ let to_json = function
     Printf.sprintf "{\"ev\":\"metric\",\"name\":\"%s\",\"kind\":\"%s\",\"fields\":{%s}}"
       (escape m.metric_name) (escape m.kind)
       (pairs_json float_json m.fields)
+  | Point p ->
+    Printf.sprintf "{\"ev\":\"point\",\"series\":\"%s\",\"span\":%s,\"iter\":%d,\"fields\":{%s}}"
+      (escape p.series)
+      (match p.span_id with Some id -> string_of_int id | None -> "null")
+      p.iter
+      (pairs_json float_json p.values)
 
 let jsonl oc =
   {
@@ -289,6 +302,11 @@ let parse_document line =
   | None -> ());
   v
 
+let json_of_string s =
+  match parse_document s with v -> Ok v | exception Bad msg -> Error msg
+
+let json_escape = escape
+
 (* ---------------- schema layer ---------------- *)
 
 let field obj key =
@@ -362,6 +380,18 @@ let event_of_document doc =
           fields =
             List.map (fun (k, v) -> (k, as_float k v)) (as_obj "fields" (field obj "fields"));
         }
+    | "point" ->
+      let span_id =
+        match field obj "span" with J_null -> None | v -> Some (as_int "span" v)
+      in
+      Point
+        {
+          series = as_string "series" (field obj "series");
+          span_id;
+          iter = as_int "iter" (field obj "iter");
+          values =
+            List.map (fun (k, v) -> (k, as_float k v)) (as_obj "fields" (field obj "fields"));
+        }
     | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other)))
   | _ -> raise (Bad "expected a JSON object")
 
@@ -407,15 +437,73 @@ let output_metrics oc metrics =
             String.concat " "
               (List.filter
                  (fun s -> not (String.equal s ""))
-                 (List.map show [ "count"; "mean"; "min"; "max"; "sum" ]))
+                 (List.map show [ "count"; "mean"; "min"; "p50"; "p90"; "p99"; "max"; "sum" ]))
         in
         Printf.fprintf oc "  %-9s %-32s %s\n" m.kind m.metric_name body)
       (List.sort (fun a b -> String.compare a.metric_name b.metric_name) metrics)
   end
 
+(* ---------------- aggregate top-N table ---------------- *)
+
+(* Per-span-name totals: call count, summed duration, and self time (total
+   minus time spent in child spans). Orphans count their duration as self
+   relative to whatever children were emitted. *)
+let aggregate_spans spans =
+  let known = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace known s.id s) spans;
+  let totals : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  let row name =
+    match Hashtbl.find_opt totals name with
+    | Some r -> r
+    | None ->
+      let r = (ref 0, ref 0.0, ref 0.0) in
+      Hashtbl.replace totals name r;
+      r
+  in
+  List.iter
+    (fun s ->
+      let count, total, self = row s.name in
+      incr count;
+      total := !total +. duration s;
+      self := !self +. duration s;
+      (* Charge this span's duration against its parent's self time. *)
+      match s.parent with
+      | Some p -> (
+        match Hashtbl.find_opt known p with
+        | Some parent ->
+          let _, _, parent_self = row parent.name in
+          parent_self := !parent_self -. duration s
+        | None -> ())
+      | None -> ())
+    spans;
+  let rows =
+    Hashtbl.fold
+      (fun name (count, total, self) acc -> (name, !count, !total, !self) :: acc)
+      totals []
+  in
+  List.sort
+    (fun (na, _, ta, _) (nb, _, tb, _) ->
+      match Float.compare tb ta with 0 -> String.compare na nb | c -> c)
+    rows
+
+let output_top oc ~top events =
+  let spans = List.filter_map (function Span s -> Some s | _ -> None) events in
+  let rows = aggregate_spans spans in
+  let shown = if top <= 0 then rows else List.filteri (fun i _ -> i < top) rows in
+  if shown <> [] then begin
+    Printf.fprintf oc "top spans by total time (%d of %d names):\n" (List.length shown)
+      (List.length rows);
+    Printf.fprintf oc "  %-36s %7s  %11s  %11s\n" "span" "calls" "total" "self";
+    List.iter
+      (fun (name, count, total, self) ->
+        Printf.fprintf oc "  %-36s %6dx  %s  %s\n" name count (format_seconds total)
+          (format_seconds self))
+      shown
+  end
+
 let output_summary oc events =
-  let spans = List.filter_map (function Span s -> Some s | Metric _ -> None) events in
-  let metrics = List.filter_map (function Metric m -> Some m | Span _ -> None) events in
+  let spans = List.filter_map (function Span s -> Some s | _ -> None) events in
+  let metrics = List.filter_map (function Metric m -> Some m | _ -> None) events in
   let known = Hashtbl.create 64 in
   List.iter (fun s -> Hashtbl.replace known s.id ()) spans;
   let children = Hashtbl.create 64 in

@@ -38,7 +38,17 @@ type metric = {
           for histograms *)
 }
 
-type event = Span of span | Metric of metric
+type point = {
+  series : string;  (** e.g. ["qp.iteration"] — names the convergence series *)
+  span_id : int option;  (** enclosing span id, so points group per solve *)
+  iter : int;  (** iteration index within the solve, 1-based *)
+  values : (string * float) list;
+      (** e.g. KKT residual, duality measure mu, step lengths *)
+}
+(** One sample of an iterative process: convergence telemetry. Serialized
+    as [{"ev":"point","series":...,"span":...,"iter":...,"fields":{...}}]. *)
+
+type event = Span of span | Metric of metric | Point of point
 
 (** {1 Sinks} *)
 
@@ -94,3 +104,33 @@ val output_summary : out_channel -> event list -> unit
 
 val output_metrics : out_channel -> metric list -> unit
 (** Just the metrics section of [output_summary]. *)
+
+val output_top : out_channel -> top:int -> event list -> unit
+(** Flat aggregate of the spans in the stream: one row per span name with
+    call count, total and self wall time, sorted by total descending.
+    [top] bounds the number of rows ([<= 0] prints all). *)
+
+(** {1 Generic JSON}
+
+    The recursive-descent parser behind [of_json], exposed so sibling
+    modules (e.g. {!Trajectory}) can parse other single-document JSON
+    files without a new dependency. Numbers stay raw strings until the
+    caller knows whether an int or float is wanted. *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of string
+  | J_bool of bool
+  | J_null
+
+val json_of_string : string -> (json, string) result
+(** Parse one complete JSON document (trailing garbage is an error). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding between double quotes in JSON output. *)
+
+val float_json : float -> string
+(** Render a float as a JSON token: round-trip exact for finite values;
+    non-finite values become the strings ["nan"] / ["inf"] / ["-inf"]. *)

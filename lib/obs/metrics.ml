@@ -2,11 +2,16 @@ type kind = Counter | Gauge | Histogram
 
 type snapshot = { name : string; kind : kind; fields : (string * float) list }
 
+(* Histograms keep every sample (amortized-doubling buffer) so snapshot
+   percentiles are exact rather than bucket approximations. Memory is
+   O(observations); the instrumented call sites record per-solve or
+   per-iteration scalars, so counts stay in the thousands. *)
 type hist = {
   mutable count : int;
   mutable sum : float;
   mutable mn : float;
   mutable mx : float;
+  mutable samples : float array;
 }
 
 let on = ref false
@@ -46,14 +51,32 @@ let observe name v =
       match Hashtbl.find_opt histograms name with
       | Some h -> h
       | None ->
-        let h = { count = 0; sum = 0.0; mn = Float.infinity; mx = Float.neg_infinity } in
+        let h =
+          { count = 0; sum = 0.0; mn = Float.infinity; mx = Float.neg_infinity;
+            samples = Array.make 16 0.0 }
+        in
         Hashtbl.replace histograms name h;
         h
     in
+    if h.count = Array.length h.samples then begin
+      let grown = Array.make (2 * h.count) 0.0 in
+      Array.blit h.samples 0 grown 0 h.count;
+      h.samples <- grown
+    end;
+    h.samples.(h.count) <- v;
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     h.mn <- Float.min h.mn v;
     h.mx <- Float.max h.mx v
+  end
+
+(* Nearest-rank percentile over the recorded samples ([q] in [0,1]). *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else begin
+    let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
   end
 
 let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
@@ -65,6 +88,8 @@ let snapshot () =
   let hists =
     Hashtbl.fold
       (fun name h acc ->
+        let sorted = Array.sub h.samples 0 h.count in
+        Array.sort Float.compare sorted;
         {
           name;
           kind = Histogram;
@@ -75,6 +100,9 @@ let snapshot () =
               ("mean", (if h.count = 0 then Float.nan else h.sum /. float_of_int h.count));
               ("min", h.mn);
               ("max", h.mx);
+              ("p50", percentile sorted 0.50);
+              ("p90", percentile sorted 0.90);
+              ("p99", percentile sorted 0.99);
             ];
         }
         :: acc)

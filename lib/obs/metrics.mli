@@ -15,7 +15,7 @@ type snapshot = {
   kind : kind;
   fields : (string * float) list;
       (** counters/gauges: [("value", v)]; histograms: count, sum, mean,
-          min, max *)
+          min, max, plus nearest-rank p50/p90/p99 over all samples *)
 }
 
 val enable : unit -> unit
@@ -29,7 +29,8 @@ val set : string -> float -> unit
 (** Set a gauge to its latest value. *)
 
 val observe : string -> float -> unit
-(** Record one sample into a histogram (count/sum/min/max aggregation). *)
+(** Record one sample into a histogram. All samples are retained (memory
+    is O(observations)), so the snapshot's p50/p90/p99 are exact. *)
 
 val snapshot : unit -> snapshot list
 (** Current state of every registered metric, sorted by (kind, name). *)

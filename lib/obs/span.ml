@@ -25,6 +25,11 @@ let set t key v =
   | Disabled -> ()
   | Live l -> l.attrs <- (key, v) :: List.filter (fun (k, _) -> not (String.equal k key)) l.attrs
 
+let point t series ~iter values =
+  match t with
+  | Disabled -> ()
+  | Live l -> Export.emit (Export.Point { Export.series; span_id = Some l.id; iter; values })
+
 let set_float t key v = set t key (Export.Float v)
 let set_int t key v = set t key (Export.Int v)
 let set_str t key v = set t key (Export.Str v)

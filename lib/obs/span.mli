@@ -26,6 +26,14 @@ val set_int : t -> string -> int -> unit
 val set_str : t -> string -> string -> unit
 val set_bool : t -> string -> bool -> unit
 
+val point : t -> string -> iter:int -> (string * float) list -> unit
+(** [point sp series ~iter values] emits one {!Export.Point} attached to
+    the running span — per-iteration convergence telemetry (KKT residual,
+    duality measure, relative change, ...). Unlike attributes, points are
+    emitted immediately, in iteration order, and do not accumulate on the
+    span. No-op on a disabled handle; guard any expensive computation of
+    [values] behind {!enabled}. *)
+
 val enabled : unit -> bool
 (** Alias for {!Export.tracing}: [true] iff spans are being recorded.
     Use it to skip computing expensive attribute values. *)

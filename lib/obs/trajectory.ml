@@ -1,0 +1,258 @@
+type kind = Micro | Macro
+
+let kind_name = function Micro -> "micro" | Macro -> "macro"
+
+type record = {
+  name : string;
+  rev : string;
+  kind : kind;
+  ns_per_run : float;
+  r_square : float;
+  runs : int;
+  iterations : float;
+}
+
+type t = record list
+
+let empty = []
+let records t = t
+let append t r = t @ [ r ]
+
+let same_key a b =
+  String.equal a.name b.name && String.equal a.rev b.rev && a.kind = b.kind
+
+(* Replace the newest same-key record in place so re-running a suite at one
+   revision refreshes its fit without rewriting history order. *)
+let upsert t r =
+  if List.exists (same_key r) t then begin
+    (* Walk from the newest record backwards so only the most recent
+       same-key entry is replaced; prepending while consuming the reversed
+       list restores chronological order. *)
+    let replaced = ref false in
+    List.fold_left
+      (fun acc existing ->
+        if (not !replaced) && same_key r existing then begin
+          replaced := true;
+          r :: acc
+        end
+        else existing :: acc)
+      []
+      (List.rev t)
+  end
+  else t @ [ r ]
+
+let git_rev () =
+  let run () =
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = match In_channel.input_line ic with Some l -> String.trim l | None -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when String.length line > 0 -> Some line
+    | _ -> None
+  in
+  match run () with
+  | Some rev -> rev
+  | None -> "unknown"
+  | exception Unix.Unix_error _ -> "unknown"
+  | exception Sys_error _ -> "unknown"
+  | exception End_of_file -> "unknown"
+
+(* {1 Persistence} *)
+
+let record_json r =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"rev\":\"%s\",\"kind\":\"%s\",\"ns_per_run\":%s,\"r_square\":%s,\"runs\":%d,\"iterations\":%s}"
+    (Export.json_escape r.name) (Export.json_escape r.rev) (kind_name r.kind)
+    (Export.float_json r.ns_per_run)
+    (Export.float_json r.r_square)
+    r.runs
+    (Export.float_json r.iterations)
+
+let to_json_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"suite\":\"deconv\",\"schema\":1,\"records\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (record_json r))
+    t;
+  if t <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let field name obj = List.assoc_opt name obj
+
+let as_float = function
+  | Some (Export.J_num s) -> (
+    match float_of_string_opt s with Some f -> f | None -> Float.nan)
+  | Some (Export.J_str "nan") -> Float.nan
+  | Some (Export.J_str "inf") -> Float.infinity
+  | Some (Export.J_str "-inf") -> Float.neg_infinity
+  | _ -> Float.nan
+
+let as_int json = int_of_float (as_float json)
+
+let as_string default = function Some (Export.J_str s) -> s | _ -> default
+
+let record_of_json = function
+  | Export.J_obj obj ->
+    let name = as_string "" (field "name" obj) in
+    if String.length name = 0 then Error "record missing \"name\""
+    else
+      Ok
+        {
+          name;
+          rev = as_string "unknown" (field "rev" obj);
+          kind =
+            (match as_string "micro" (field "kind" obj) with
+            | "macro" -> Macro
+            | _ -> Micro);
+          ns_per_run = as_float (field "ns_per_run" obj);
+          r_square = as_float (field "r_square" obj);
+          runs = (match field "runs" obj with Some _ as f -> as_int f | None -> 0);
+          iterations = as_float (field "iterations" obj);
+        }
+  | _ -> Error "record is not an object"
+
+let of_json_string s =
+  match Export.json_of_string s with
+  | Error msg -> Error (Printf.sprintf "trajectory: %s" msg)
+  | Ok (Export.J_obj obj) -> (
+    (* Schema 1 stores "records"; the legacy snapshot format stored a
+       "results" array without rev/kind — load it as micro @ unknown. *)
+    let array_field =
+      match field "records" obj with
+      | Some (Export.J_arr items) -> Some items
+      | Some _ -> None
+      | None -> (
+        match field "results" obj with
+        | Some (Export.J_arr items) -> Some items
+        | _ -> None)
+    in
+    match array_field with
+    | None -> Error "trajectory: no \"records\" or \"results\" array"
+    | Some items ->
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+          match record_of_json item with
+          | Ok r -> collect (r :: acc) rest
+          | Error msg -> Error (Printf.sprintf "trajectory: %s" msg))
+      in
+      collect [] items)
+  | Ok _ -> Error "trajectory: top-level value is not an object"
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> of_json_string contents
+    | exception Sys_error msg -> Error msg
+
+let save t ~path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json_string t))
+
+(* {1 Regression gate} *)
+
+type thresholds = { tolerance : float; min_r_square : float }
+
+let default_thresholds = { tolerance = 0.30; min_r_square = 0.85 }
+
+type verdict = Regression | Improvement | Unchanged | Skipped of string
+
+type comparison = {
+  name : string;
+  baseline : record option;
+  latest : record;
+  ratio : float;
+  verdict : verdict;
+}
+
+(* Distinct names in order of first appearance, so the gate's report reads
+   in the same order the suites emitted their benches. *)
+let names_in_order t =
+  List.rev
+    (List.fold_left
+       (fun acc (r : record) ->
+         if List.exists (String.equal r.name) acc then acc else r.name :: acc)
+       [] t)
+
+let last_matching pred l =
+  List.fold_left (fun acc r -> if pred r then Some r else acc) None l
+
+let judge thresholds baseline latest =
+  let noisy r = Float.is_finite r.r_square && r.r_square < thresholds.min_r_square in
+  if not (Float.is_finite latest.ns_per_run) then
+    (Float.nan, Skipped "latest timing is not finite")
+  else if not (Float.is_finite baseline.ns_per_run) || baseline.ns_per_run <= 0.0 then
+    (Float.nan, Skipped "baseline timing is not positive")
+  else begin
+    let ratio = latest.ns_per_run /. baseline.ns_per_run in
+    if noisy baseline then (ratio, Skipped "baseline fit too noisy (low r_square)")
+    else if noisy latest then (ratio, Skipped "latest fit too noisy (low r_square)")
+    else if ratio > 1.0 +. thresholds.tolerance then (ratio, Regression)
+    else if ratio < 1.0 /. (1.0 +. thresholds.tolerance) then (ratio, Improvement)
+    else (ratio, Unchanged)
+  end
+
+let compare_latest ?baseline_rev ?(thresholds = default_thresholds) t =
+  List.filter_map
+    (fun name ->
+      let entries = List.filter (fun (r : record) -> String.equal r.name name) t in
+      match last_matching (fun _ -> true) entries with
+      | None -> None
+      | Some latest ->
+        let earlier =
+          (* Everything before the latest record: drop the final entry. *)
+          match List.rev entries with [] -> [] | _ :: rest -> List.rev rest
+        in
+        let baseline =
+          match baseline_rev with
+          | Some rev -> last_matching (fun (r : record) -> String.equal r.rev rev) earlier
+          | None -> last_matching (fun _ -> true) earlier
+        in
+        let ratio, verdict =
+          match baseline with
+          | None ->
+            ( Float.nan,
+              Skipped
+                (match baseline_rev with
+                | Some rev -> Printf.sprintf "no earlier record at rev %s" rev
+                | None -> "no earlier record") )
+          | Some b -> judge thresholds b latest
+        in
+        Some { name; baseline; latest; ratio; verdict })
+    (names_in_order t)
+
+let has_regression comparisons =
+  List.exists (fun c -> match c.verdict with Regression -> true | _ -> false) comparisons
+
+let format_ns ns =
+  if not (Float.is_finite ns) then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let verdict_name = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Unchanged -> "ok"
+  | Skipped reason -> Printf.sprintf "skipped (%s)" reason
+
+let output_comparisons oc comparisons =
+  Printf.fprintf oc "  %-28s %12s %12s %8s  %s\n" "bench" "baseline" "latest" "ratio"
+    "verdict";
+  List.iter
+    (fun c ->
+      let baseline_ns =
+        match c.baseline with Some b -> format_ns b.ns_per_run | None -> "n/a"
+      in
+      let ratio =
+        if Float.is_finite c.ratio then Printf.sprintf "%.3fx" c.ratio else "n/a"
+      in
+      Printf.fprintf oc "  %-28s %12s %12s %8s  %s\n" c.name baseline_ns
+        (format_ns c.latest.ns_per_run)
+        ratio (verdict_name c.verdict))
+    comparisons

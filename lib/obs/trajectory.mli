@@ -1,0 +1,104 @@
+(** Benchmark trajectory store and regression gate.
+
+    [BENCH_deconv.json] is an append/merge history of benchmark fits — one
+    record per (bench name, git revision, run) — rather than a single
+    snapshot, so the performance trajectory of the repository survives
+    across sessions and the newest record can be diffed against a
+    baseline. The micro suite ([bench micro --json]) upserts its OLS fits
+    keyed by (name, rev); the macro suite ([bench macro]) appends a fresh
+    record per run, building a history even within one revision.
+
+    Thresholds are noise-aware: a timing is only gated when its OLS fit is
+    trustworthy (r² above [min_r_square]; macro records carry a NaN r²
+    when too few repetitions ran for a fit and are then gated on the
+    relative tolerance alone). The tolerance is multiplicative — wall
+    timings on shared machines routinely jitter by 10–20%, so the default
+    only fires on changes well outside that band. *)
+
+type kind = Micro | Macro
+
+val kind_name : kind -> string
+
+type record = {
+  name : string;  (** bench name, e.g. ["macro.pipeline_run"] *)
+  rev : string;  (** git revision measured (short hash, or ["unknown"]) *)
+  kind : kind;
+  ns_per_run : float;  (** wall nanoseconds per run (OLS slope or mean) *)
+  r_square : float;  (** OLS goodness of fit; NaN when not fitted *)
+  runs : int;  (** timed repetitions behind the record; 0 when unknown *)
+  iterations : float;
+      (** mean solver iterations per run (QP interior-point or
+          Richardson–Lucy), NaN when the bench has no solver inside *)
+}
+
+type t
+(** A trajectory: records in chronological order (oldest first). *)
+
+val empty : t
+val records : t -> record list
+val append : t -> record -> t
+(** Unconditional append — every run adds a point to the history. *)
+
+val upsert : t -> record -> t
+(** Replace the newest record with the same (name, rev, kind) in place, or
+    append when none exists. Re-running [bench micro --json] at one
+    revision refreshes its fits instead of duplicating them — and never
+    touches records of other kinds or revisions. *)
+
+val git_rev : unit -> string
+(** Short hash of the checked-out revision, or ["unknown"] when git (or a
+    repository) is unavailable. *)
+
+(** {1 Persistence} *)
+
+val to_json_string : t -> string
+(** One record per line inside a [{"suite":"deconv","schema":1,
+    "records":[...]}] envelope — stable and diff-friendly. *)
+
+val of_json_string : string -> (t, string) result
+(** Parses the schema-1 envelope, and also the legacy single-snapshot
+    [{"suite":...,"results":[...]}] format (records gain
+    [rev = "unknown"], [kind = Micro]). *)
+
+val load : path:string -> (t, string) result
+(** [Ok empty] when the file does not exist. *)
+
+val save : t -> path:string -> unit
+
+(** {1 Regression gate} *)
+
+type thresholds = {
+  tolerance : float;
+      (** relative slowdown tolerated before a regression fires;
+          0.30 = 30% *)
+  min_r_square : float;
+      (** records whose finite r² falls below this are too noisy to gate *)
+}
+
+val default_thresholds : thresholds
+
+type verdict =
+  | Regression
+  | Improvement
+  | Unchanged
+  | Skipped of string  (** why this pair could not be gated *)
+
+type comparison = {
+  name : string;
+  baseline : record option;  (** [None]: nothing to compare against *)
+  latest : record;
+  ratio : float;  (** latest ns / baseline ns; NaN without a baseline *)
+  verdict : verdict;
+}
+
+val compare_latest : ?baseline_rev:string -> ?thresholds:thresholds -> t -> comparison list
+(** For every bench name (in order of first appearance): diff the newest
+    record against the baseline — the newest earlier record with revision
+    [baseline_rev] when given, the immediately preceding record otherwise.
+    Names with no baseline yield [Skipped]. *)
+
+val has_regression : comparison list -> bool
+
+val output_comparisons : out_channel -> comparison list -> unit
+(** Render one line per comparison (name, baseline/latest ns, ratio,
+    verdict) to a caller-supplied channel. *)

@@ -53,8 +53,11 @@ let stationarity_residual problem x nu z =
   let scale = Float.max 1.0 (Float.max (Vec.norm_inf problem.g) (Mat.max_abs problem.h)) in
   Vec.norm_inf r /. scale
 
-(* Infeasible-start primal-dual path following for the inequality case. *)
-let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
+(* Infeasible-start primal-dual path following for the inequality case.
+   [sp] is the enclosing qp.solve span: each pass of the main loop emits
+   one "qp.iteration" point on it, so a trace replays the convergence
+   trajectory and the point count equals [solution.iterations]. *)
+let solve_interior_point ~sp ~tol ~max_iter ~fail_on_stall problem a b =
   let n = problem.h.Mat.rows in
   let m_ineq = a.Mat.rows in
   let n_eq = match problem.c_eq with Some c -> c.Mat.rows | None -> 0 in
@@ -85,6 +88,15 @@ let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
   in
   let iterations = ref 0 in
   let converged = ref false in
+  (* Scaled worst-case KKT residual — the quantity the convergence test
+     compares against [tol], so the telemetry curve mirrors the stop rule. *)
+  let kkt_of r_dual r_eq r_ineq =
+    Float.max (Vec.norm_inf r_dual)
+      (Float.max
+         (if n_eq = 0 then 0.0 else Vec.norm_inf r_eq)
+         (Vec.norm_inf r_ineq))
+    /. scale
+  in
   while (not !converged) && !iterations < max_iter do
     incr iterations;
     let r_dual, r_eq, r_ineq = residuals () in
@@ -94,7 +106,12 @@ let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
       && Vec.norm_inf r_dual < tol *. scale
       && (n_eq = 0 || Vec.norm_inf r_eq < tol *. scale)
       && Vec.norm_inf r_ineq < tol *. scale
-    then converged := true
+    then begin
+      converged := true;
+      if Obs.Span.enabled () then
+        Obs.Span.point sp "qp.iteration" ~iter:!iterations
+          [ ("kkt_residual", kkt_of r_dual r_eq r_ineq); ("mu", mu) ]
+    end
     else begin
       (* Centering parameter: aggressive once residuals are small. *)
       let sigma = if Vec.norm_inf r_ineq < 1e-8 *. scale then 0.1 else 0.3 in
@@ -152,7 +169,15 @@ let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
       | Some _ -> Vec.axpy alpha_d dy !y
       | None -> ());
       Vec.axpy alpha_p ds !s;
-      Vec.axpy alpha_d dz !z
+      Vec.axpy alpha_d dz !z;
+      if Obs.Span.enabled () then
+        Obs.Span.point sp "qp.iteration" ~iter:!iterations
+          [
+            ("kkt_residual", kkt_of r_dual r_eq r_ineq);
+            ("mu", mu);
+            ("alpha_p", alpha_p);
+            ("alpha_d", alpha_d);
+          ]
     end
   done;
   if (not !converged) && fail_on_stall then
@@ -169,36 +194,46 @@ let solve_interior_point ~tol ~max_iter ~fail_on_stall problem a b =
     status = (if !converged then Converged else Stalled);
   }
 
-let solve_dispatch ~tol ~max_iter ~fail_on_stall problem =
+let solve_dispatch ~sp ~tol ~max_iter ~fail_on_stall problem =
   let n = problem.h.Mat.rows in
   assert (Array.length problem.g = n);
+  (* Direct solves count as one iteration; emit the matching single point
+     so every solve's telemetry series has exactly [iterations] entries. *)
+  let direct sol =
+    if Obs.Span.enabled () then
+      Obs.Span.point sp "qp.iteration" ~iter:1
+        [ ("kkt_residual", sol.kkt_residual); ("mu", 0.0) ];
+    sol
+  in
   match (problem.a_ineq, problem.b_ineq) with
   | None, None | None, Some _ ->
     (* Equality-only (or unconstrained): one KKT solve. *)
     (match (problem.c_eq, problem.d_eq) with
     | Some c, Some d ->
       let x, nu = solve_equality problem.h problem.g ~c ~d in
-      {
-        x;
-        active = [];
-        iterations = 1;
-        kkt_residual = stationarity_residual problem x nu [||];
-        status = Converged;
-      }
+      direct
+        {
+          x;
+          active = [];
+          iterations = 1;
+          kkt_residual = stationarity_residual problem x nu [||];
+          status = Converged;
+        }
     | None, _ ->
       let x = unconstrained problem.h problem.g in
-      {
-        x;
-        active = [];
-        iterations = 1;
-        kkt_residual = stationarity_residual problem x [||] [||];
-        status = Converged;
-      }
+      direct
+        {
+          x;
+          active = [];
+          iterations = 1;
+          kkt_residual = stationarity_residual problem x [||] [||];
+          status = Converged;
+        }
     | Some _, None -> invalid_arg "Qp.solve: c_eq without d_eq")
   | Some a, Some b ->
     assert (a.Mat.cols = n);
     assert (Array.length b = a.Mat.rows);
-    solve_interior_point ~tol:(Float.max tol 1e-12) ~max_iter ~fail_on_stall problem a b
+    solve_interior_point ~sp ~tol:(Float.max tol 1e-12) ~max_iter ~fail_on_stall problem a b
   | Some _, None -> invalid_arg "Qp.solve: a_ineq without b_ineq"
 
 let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
@@ -207,7 +242,7 @@ let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
       Obs.Span.set_int sp "m_ineq"
         (match problem.a_ineq with Some a -> a.Mat.rows | None -> 0);
       Obs.Span.set_int sp "m_eq" (match problem.c_eq with Some c -> c.Mat.rows | None -> 0);
-      let sol = solve_dispatch ~tol ~max_iter ~fail_on_stall problem in
+      let sol = solve_dispatch ~sp ~tol ~max_iter ~fail_on_stall problem in
       Obs.Span.set_int sp "iterations" sol.iterations;
       Obs.Span.set_int sp "active" (List.length sol.active);
       Obs.Span.set_float sp "kkt_residual" sol.kkt_residual;

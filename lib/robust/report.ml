@@ -17,6 +17,7 @@ type attempt = {
   lambda : float;
   ridge : float;
   seconds : float;
+  iterations : int;
   outcome : (unit, Error.t) result;
 }
 
@@ -45,8 +46,9 @@ let to_string r =
     r.repairs;
   List.iter
     (fun a ->
-      Printf.bprintf buf "  %-28s lambda=%-10.3g ridge=%-10.3g %6.1f ms  %s\n"
+      Printf.bprintf buf "  %-28s lambda=%-10.3g ridge=%-10.3g %6.1f ms %4s  %s\n"
         (stage_name a.stage) a.lambda a.ridge (1000.0 *. a.seconds)
+        (if a.iterations > 0 then Printf.sprintf "%dit" a.iterations else "-")
         (match a.outcome with Ok () -> "ok" | Error e -> Error.to_string e))
     r.attempts;
   Buffer.contents buf

@@ -19,6 +19,10 @@ type attempt = {
       (** wall-clock time spent on the attempt, measured via [Obs.Clock]
           (never [Sys.time], which is processor time and undercounts any
           wait) *)
+  iterations : int;
+      (** solver iterations the attempt consumed (QP interior-point or
+          Richardson–Lucy passes); 0 when the stage has no iterative
+          solver or failed before reaching it *)
   outcome : (unit, Error.t) result;
 }
 

@@ -21,6 +21,7 @@ let with_clean_obs f () =
 let span_of = function
   | Obs.Export.Span s -> s
   | Obs.Export.Metric m -> Alcotest.failf "expected a span, got metric %s" m.Obs.Export.metric_name
+  | Obs.Export.Point p -> Alcotest.failf "expected a span, got point %s" p.Obs.Export.series
 
 let spans events = List.filter_map (function Obs.Export.Span s -> Some s | _ -> None) events
 
@@ -154,7 +155,36 @@ let test_metrics_aggregation =
   Alcotest.(check (float 0.0)) "histogram sum" 12.0 (field h "sum");
   Alcotest.(check (float 0.0)) "histogram mean" 4.0 (field h "mean");
   Alcotest.(check (float 0.0)) "histogram min" 2.0 (field h "min");
-  Alcotest.(check (float 0.0)) "histogram max" 6.0 (field h "max")
+  Alcotest.(check (float 0.0)) "histogram max" 6.0 (field h "max");
+  Alcotest.(check (float 0.0)) "histogram p50" 4.0 (field h "p50")
+
+let test_metrics_percentiles =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  (* 1..100 in shuffled-ish order: percentiles must sort, not trust
+     insertion order. Nearest-rank on n=100: p50 -> index 50 -> 51,
+     p90 -> index 89 -> 90, p99 -> index 98 -> 99. *)
+  for i = 0 to 99 do
+    Obs.Metrics.observe "lat" (float_of_int (((i * 37) mod 100) + 1))
+  done;
+  let snap =
+    match
+      List.find_opt (fun s -> String.equal s.Obs.Metrics.name "lat") (Obs.Metrics.snapshot ())
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram not registered"
+  in
+  let field name =
+    match List.assoc_opt name snap.Obs.Metrics.fields with
+    | Some v -> v
+    | None -> Alcotest.failf "no field %s" name
+  in
+  Alcotest.(check (float 0.0)) "count" 100.0 (field "count");
+  Alcotest.(check (float 0.0)) "p50" 51.0 (field "p50");
+  Alcotest.(check (float 0.0)) "p90" 90.0 (field "p90");
+  Alcotest.(check (float 0.0)) "p99" 99.0 (field "p99");
+  Alcotest.(check (float 0.0)) "min still exact" 1.0 (field "min");
+  Alcotest.(check (float 0.0)) "max still exact" 100.0 (field "max")
 
 let test_metrics_events_round_trip =
   with_clean_obs @@ fun () ->
@@ -295,6 +325,41 @@ let ancestors events =
     in
     up [] s.Obs.Export.parent
 
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i =
+    i + ln <= lh && (String.equal (String.sub haystack i ln) needle || go (i + 1))
+  in
+  go 0
+
+let test_output_top_aggregates =
+  with_clean_obs @@ fun () ->
+  let source, advance = Obs.Clock.manual () in
+  Obs.Clock.with_source source @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Obs.Span.with_ "outer" (fun _ ->
+      advance 2.0;
+      Obs.Span.with_ "inner" (fun _ -> advance 1.0));
+  let events = recorded () in
+  let render top =
+    let path = Filename.temp_file "obs_top" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Out_channel.with_open_text path (fun oc -> Obs.Export.output_top oc ~top events);
+        In_channel.with_open_text path In_channel.input_all)
+  in
+  let full = render 0 in
+  check_true "outer listed" (contains full "outer");
+  check_true "inner listed" (contains full "inner");
+  check_true "two names counted" (contains full "(2 of 2 names)");
+  (* outer ran 3s total; inner is charged against its self time, so the
+     sort by total puts outer first. top:1 must then drop inner. *)
+  let top1 = render 1 in
+  check_true "outer survives the cut" (contains top1 "outer");
+  check_true "inner cut by top 1" (not (contains top1 "inner"))
+
 let test_pipeline_span_hierarchy =
   with_clean_obs @@ fun () ->
   let sink, recorded = Obs.Export.memory () in
@@ -391,6 +456,7 @@ let tests =
       [
         case "disabled is a no-op" test_metrics_disabled_noop;
         case "counter, gauge, histogram" test_metrics_aggregation;
+        case "exact percentiles" test_metrics_percentiles;
         case "events round-trip" test_metrics_events_round_trip;
       ] );
     ( "obs-export",
@@ -400,6 +466,7 @@ let tests =
         case "rejects malformed lines" test_json_rejects_malformed;
         case "jsonl write and read back" test_read_jsonl;
         case "malformed line reported" test_read_jsonl_reports_line;
+        case "top table aggregates by name" test_output_top_aggregates;
       ] );
     ( "obs-pipeline",
       [

@@ -1,0 +1,357 @@
+(* Performance observatory: trajectory persistence and merge semantics,
+   the noise-aware regression gate, and per-iteration convergence
+   telemetry from the QP and Richardson-Lucy solvers. *)
+
+open Numerics
+open Testutil
+
+let record ?(rev = "r1") ?(kind = Obs.Trajectory.Micro) ?(r2 = 0.99) ?(runs = 0)
+    ?(iters = Float.nan) name ns =
+  {
+    Obs.Trajectory.name;
+    rev;
+    kind;
+    ns_per_run = ns;
+    r_square = r2;
+    runs;
+    iterations = iters;
+  }
+
+let verdict_label = function
+  | Obs.Trajectory.Regression -> "regression"
+  | Obs.Trajectory.Improvement -> "improvement"
+  | Obs.Trajectory.Unchanged -> "unchanged"
+  | Obs.Trajectory.Skipped _ -> "skipped"
+
+let only_comparison comparisons =
+  match comparisons with
+  | [ c ] -> c
+  | cs -> Alcotest.failf "expected exactly one comparison, got %d" (List.length cs)
+
+(* ---------------- regression gate ---------------- *)
+
+let test_gate_flags_2x_regression () =
+  let t =
+    List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
+      [ record "solve" 100.0 ~rev:"old"; record "solve" 200.0 ~rev:"new" ]
+  in
+  let c = only_comparison (Obs.Trajectory.compare_latest t) in
+  Alcotest.(check string) "2x slowdown is a regression" "regression"
+    (verdict_label c.Obs.Trajectory.verdict);
+  Alcotest.(check (float 1e-9)) "ratio" 2.0 c.Obs.Trajectory.ratio;
+  check_true "has_regression" (Obs.Trajectory.has_regression [ c ])
+
+let test_gate_passes_jitter () =
+  (* 10% jitter is inside the default 30% tolerance, both directions. *)
+  List.iter
+    (fun latest_ns ->
+      let t =
+        List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
+          [ record "solve" 100.0 ~rev:"old"; record "solve" latest_ns ~rev:"new" ]
+      in
+      let c = only_comparison (Obs.Trajectory.compare_latest t) in
+      Alcotest.(check string)
+        (Printf.sprintf "%.0f ns vs 100 ns is within tolerance" latest_ns)
+        "unchanged"
+        (verdict_label c.Obs.Trajectory.verdict);
+      check_true "no regression" (not (Obs.Trajectory.has_regression [ c ])))
+    [ 110.0; 90.0 ]
+
+let test_gate_skips_noisy_fit () =
+  (* A baseline whose OLS fit explains little variance must not gate. *)
+  let t =
+    List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
+      [ record "solve" 100.0 ~rev:"old" ~r2:0.2; record "solve" 300.0 ~rev:"new" ]
+  in
+  let c = only_comparison (Obs.Trajectory.compare_latest t) in
+  Alcotest.(check string) "noisy baseline skipped" "skipped"
+    (verdict_label c.Obs.Trajectory.verdict);
+  check_true "skip is not a regression" (not (Obs.Trajectory.has_regression [ c ]))
+
+let test_gate_nan_r2_is_gated () =
+  (* Macro records carry NaN r_square (means, not fits): still gated. *)
+  let t =
+    List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
+      [
+        record "macro.run" 100.0 ~rev:"old" ~kind:Obs.Trajectory.Macro ~r2:Float.nan;
+        record "macro.run" 250.0 ~rev:"new" ~kind:Obs.Trajectory.Macro ~r2:Float.nan;
+      ]
+  in
+  let c = only_comparison (Obs.Trajectory.compare_latest t) in
+  Alcotest.(check string) "NaN r2 records are gated" "regression"
+    (verdict_label c.Obs.Trajectory.verdict)
+
+let test_gate_baseline_rev_selection () =
+  let t =
+    List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
+      [
+        record "solve" 100.0 ~rev:"a";
+        record "solve" 400.0 ~rev:"b";
+        record "solve" 120.0 ~rev:"c";
+      ]
+  in
+  (* Default baseline: the immediately preceding record (rev b). *)
+  let c = only_comparison (Obs.Trajectory.compare_latest t) in
+  (match c.Obs.Trajectory.baseline with
+  | Some b -> Alcotest.(check string) "default baseline is previous record" "b" b.Obs.Trajectory.rev
+  | None -> Alcotest.fail "expected a baseline");
+  Alcotest.(check string) "120 vs 400 improves" "improvement"
+    (verdict_label c.Obs.Trajectory.verdict);
+  (* Pinned baseline: rev a, against which 120 ns is plain jitter. *)
+  let c = only_comparison (Obs.Trajectory.compare_latest ~baseline_rev:"a" t) in
+  (match c.Obs.Trajectory.baseline with
+  | Some b -> Alcotest.(check string) "pinned baseline rev" "a" b.Obs.Trajectory.rev
+  | None -> Alcotest.fail "expected a baseline");
+  Alcotest.(check string) "120 vs 100 unchanged" "unchanged"
+    (verdict_label c.Obs.Trajectory.verdict)
+
+let test_gate_no_baseline_is_skip () =
+  let t = Obs.Trajectory.append Obs.Trajectory.empty (record "solve" 100.0) in
+  let c = only_comparison (Obs.Trajectory.compare_latest t) in
+  Alcotest.(check string) "single record skipped" "skipped"
+    (verdict_label c.Obs.Trajectory.verdict);
+  check_true "no baseline" (Option.is_none c.Obs.Trajectory.baseline)
+
+(* ---------------- trajectory store ---------------- *)
+
+let test_upsert_replaces_same_key () =
+  let t = Obs.Trajectory.append Obs.Trajectory.empty (record "a" 100.0) in
+  let t = Obs.Trajectory.append t (record "b" 50.0) in
+  let t = Obs.Trajectory.upsert t (record "a" 140.0) in
+  let rs = Obs.Trajectory.records t in
+  Alcotest.(check int) "upsert does not grow the history" 2 (List.length rs);
+  (match rs with
+  | [ a; b ] ->
+    Alcotest.(check string) "order preserved" "a" a.Obs.Trajectory.name;
+    Alcotest.(check (float 0.0)) "value refreshed" 140.0 a.Obs.Trajectory.ns_per_run;
+    Alcotest.(check string) "other record untouched" "b" b.Obs.Trajectory.name
+  | _ -> Alcotest.fail "expected two records");
+  (* A different rev is a different key: upsert appends instead. *)
+  let t = Obs.Trajectory.upsert t (record "a" 90.0 ~rev:"r2") in
+  Alcotest.(check int) "new rev appends" 3 (List.length (Obs.Trajectory.records t))
+
+let test_macro_append_builds_history () =
+  let t = Obs.Trajectory.append Obs.Trajectory.empty (record "m" 100.0 ~kind:Obs.Trajectory.Macro) in
+  let t = Obs.Trajectory.append t (record "m" 105.0 ~kind:Obs.Trajectory.Macro) in
+  Alcotest.(check int) "same name and rev, two history points" 2
+    (List.length (Obs.Trajectory.records t))
+
+let test_trajectory_json_round_trip () =
+  let t =
+    List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
+      [
+        record "a" 123.456 ~rev:"abc" ~r2:0.97 ~runs:3 ~iters:42.0;
+        record "b" 1e9 ~kind:Obs.Trajectory.Macro ~r2:Float.nan;
+      ]
+  in
+  match Obs.Trajectory.of_json_string (Obs.Trajectory.to_json_string t) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok t' ->
+    let rs = Obs.Trajectory.records t and rs' = Obs.Trajectory.records t' in
+    Alcotest.(check int) "record count" (List.length rs) (List.length rs');
+    List.iter2
+      (fun (a : Obs.Trajectory.record) (b : Obs.Trajectory.record) ->
+        Alcotest.(check string) "name" a.name b.name;
+        Alcotest.(check string) "rev" a.rev b.rev;
+        Alcotest.(check string) "kind" (Obs.Trajectory.kind_name a.kind)
+          (Obs.Trajectory.kind_name b.kind);
+        Alcotest.(check (float 0.0)) "ns" a.ns_per_run b.ns_per_run;
+        Alcotest.(check int) "runs" a.runs b.runs;
+        check_true "r_square matches (nan == nan)"
+          (Float.equal a.r_square b.r_square
+          || (Float.is_nan a.r_square && Float.is_nan b.r_square)))
+      rs rs'
+
+let test_trajectory_loads_legacy_format () =
+  let legacy =
+    "{\"suite\":\"deconv\",\"results\":[{\"name\":\"k\",\"ns_per_run\":42.0,\"r_square\":0.9}]}"
+  in
+  match Obs.Trajectory.of_json_string legacy with
+  | Error msg -> Alcotest.failf "legacy load failed: %s" msg
+  | Ok t -> (
+    match Obs.Trajectory.records t with
+    | [ r ] ->
+      Alcotest.(check string) "name" "k" r.Obs.Trajectory.name;
+      Alcotest.(check string) "rev defaults" "unknown" r.Obs.Trajectory.rev;
+      Alcotest.(check (float 0.0)) "ns" 42.0 r.Obs.Trajectory.ns_per_run
+    | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs))
+
+let test_trajectory_missing_file_is_empty () =
+  match Obs.Trajectory.load ~path:"nonexistent-trajectory.json" with
+  | Ok t -> Alcotest.(check int) "empty" 0 (List.length (Obs.Trajectory.records t))
+  | Error msg -> Alcotest.failf "missing file should load as empty: %s" msg
+
+(* ---------------- convergence telemetry ---------------- *)
+
+let with_clean_obs f () =
+  Obs.Span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Export.uninstall ();
+      Obs.Span.reset ();
+      Obs.Clock.set_source Obs.Clock.wall)
+    f
+
+let points_of events =
+  List.filter_map (function Obs.Export.Point p -> Some p | _ -> None) events
+
+let test_qp_emits_one_point_per_iteration =
+  with_clean_obs @@ fun () ->
+  let source, advance = Obs.Clock.manual () in
+  Obs.Clock.with_source source @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  (* min (x+1)^2 + (y-2)^2 s.t. x >= 0: active constraint forces real
+     interior-point iterations. Advance the mock clock per event so span
+     timings stay deterministic. *)
+  advance 1.0;
+  let spd_2 = Mat.of_rows [| [| 2.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let a = Mat.of_rows [| [| 1.0; 0.0 |] |] in
+  let solution =
+    Optimize.Qp.solve
+      { h = spd_2; g = [| 2.0; -4.0 |]; c_eq = None; d_eq = None; a_ineq = Some a;
+        b_ineq = Some [| 0.0 |] }
+  in
+  let events = recorded () in
+  let points =
+    List.filter (fun p -> String.equal p.Obs.Export.series "qp.iteration") (points_of events)
+  in
+  Alcotest.(check int) "one point per interior-point iteration"
+    solution.Optimize.Qp.iterations (List.length points);
+  (* Iteration indices are 1..n in emission order. *)
+  List.iteri
+    (fun i p -> Alcotest.(check int) "iteration index" (i + 1) p.Obs.Export.iter)
+    points;
+  let qp_span =
+    List.find_map
+      (function
+        | Obs.Export.Span s when String.equal s.Obs.Export.name "qp.solve" -> Some s
+        | _ -> None)
+      events
+  in
+  (match qp_span with
+  | None -> Alcotest.fail "no qp.solve span recorded"
+  | Some s ->
+    List.iter
+      (fun p ->
+        Alcotest.(check (option int)) "point attached to the qp.solve span"
+          (Some s.Obs.Export.id) p.Obs.Export.span_id)
+      points;
+    (* The span's iterations attribute agrees with the point count. *)
+    match List.assoc_opt "iterations" s.Obs.Export.attrs with
+    | Some (Obs.Export.Int n) -> Alcotest.(check int) "span attr matches" n (List.length points)
+    | _ -> Alcotest.fail "qp.solve span lacks an iterations attribute");
+  List.iter
+    (fun p ->
+      check_true "kkt_residual present" (List.mem_assoc "kkt_residual" p.Obs.Export.values);
+      check_true "mu present" (List.mem_assoc "mu" p.Obs.Export.values))
+    points;
+  (* The residual curve ends below the default tolerance scale: converged. *)
+  match List.rev points with
+  | last :: _ ->
+    let kkt = List.assoc "kkt_residual" last.Obs.Export.values in
+    check_true "final scaled KKT residual small" (kkt < 1e-6)
+  | [] -> Alcotest.fail "no points recorded"
+
+let test_qp_direct_solve_emits_single_point =
+  with_clean_obs @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  let spd_2 = Mat.of_rows [| [| 2.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let solution =
+    Optimize.Qp.solve
+      { h = spd_2; g = [| -2.0; -4.0 |]; c_eq = None; d_eq = None; a_ineq = None; b_ineq = None }
+  in
+  let points =
+    List.filter
+      (fun p -> String.equal p.Obs.Export.series "qp.iteration")
+      (points_of (recorded ()))
+  in
+  Alcotest.(check int) "direct solve: one iteration, one point"
+    solution.Optimize.Qp.iterations (List.length points)
+
+let test_point_round_trips_jsonl =
+  with_clean_obs @@ fun () ->
+  let p =
+    Obs.Export.Point
+      { Obs.Export.series = "qp.iteration"; span_id = Some 7; iter = 3;
+        values = [ ("kkt_residual", 1.25e-4); ("mu", Float.nan) ] }
+  in
+  let line = Obs.Export.to_json p in
+  match Obs.Export.of_json line with
+  | Error msg -> Alcotest.failf "point parse failed: %s (%s)" msg line
+  | Ok p' ->
+    Alcotest.(check string) "point round-trip is a fixed point" line (Obs.Export.to_json p')
+
+let test_rl_emits_points_under_mock_clock =
+  with_clean_obs @@ fun () ->
+  let source, _advance = Obs.Clock.manual () in
+  Obs.Clock.with_source source @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  let params = Cellpop.Params.paper_2011 in
+  let times = [| 0.0; 60.0; 120.0 |] in
+  let kernel =
+    Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create 42) ~n_cells:200 ~times
+      ~n_phi:21
+  in
+  let iterations = 7 in
+  let result =
+    Deconv.Richardson_lucy.deconvolve ~iterations kernel ~measurements:[| 1.0; 2.0; 1.5 |] ()
+  in
+  let events = recorded () in
+  let points =
+    List.filter (fun p -> String.equal p.Obs.Export.series "rl.iteration") (points_of events)
+  in
+  Alcotest.(check int) "one point per RL iteration" result.Deconv.Richardson_lucy.iterations
+    (List.length points);
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "RL iteration index" (i + 1) p.Obs.Export.iter;
+      check_true "rel_change present" (List.mem_assoc "rel_change" p.Obs.Export.values);
+      check_true "misfit present" (List.mem_assoc "misfit" p.Obs.Export.values))
+    points;
+  (* Points ride inside the rl.deconvolve span. *)
+  let rl_span =
+    List.find_map
+      (function
+        | Obs.Export.Span s when String.equal s.Obs.Export.name "rl.deconvolve" -> Some s
+        | _ -> None)
+      events
+  in
+  match rl_span with
+  | None -> Alcotest.fail "no rl.deconvolve span recorded"
+  | Some s ->
+    List.iter
+      (fun p ->
+        Alcotest.(check (option int)) "point attached to rl.deconvolve"
+          (Some s.Obs.Export.id) p.Obs.Export.span_id)
+      points
+
+let tests =
+  [
+    ( "perf-gate",
+      [
+        case "2x regression fails" test_gate_flags_2x_regression;
+        case "10% jitter passes" test_gate_passes_jitter;
+        case "noisy fit skipped" test_gate_skips_noisy_fit;
+        case "NaN r2 still gated" test_gate_nan_r2_is_gated;
+        case "baseline rev selection" test_gate_baseline_rev_selection;
+        case "no baseline is a skip" test_gate_no_baseline_is_skip;
+      ] );
+    ( "perf-trajectory",
+      [
+        case "upsert replaces same key" test_upsert_replaces_same_key;
+        case "macro append builds history" test_macro_append_builds_history;
+        case "json round-trip" test_trajectory_json_round_trip;
+        case "legacy format loads" test_trajectory_loads_legacy_format;
+        case "missing file is empty" test_trajectory_missing_file_is_empty;
+      ] );
+    ( "perf-convergence",
+      [
+        case "qp emits one point per iteration" test_qp_emits_one_point_per_iteration;
+        case "direct solve emits one point" test_qp_direct_solve_emits_single_point;
+        case "point jsonl round-trip" test_point_round_trips_jsonl;
+        case "rl emits ordered points" test_rl_emits_points_under_mock_clock;
+      ] );
+  ]
