@@ -1363,8 +1363,20 @@ let micro () =
              for _ = 1 to 1000 do
                Obs.Metrics.incr "bench.noop"
              done));
+      (* Dispatch cost of the domain pool: 16 chunks of trivial work. The
+         default pool is forced into existence before the suite (below) so
+         worker spawning never lands inside the timed region. *)
+      Test.make ~name:"parallel_for_overhead"
+        (Staged.stage (fun () ->
+             Parallel.parallel_for ~chunk:64 ~n:1024 (fun ~lo ~hi ->
+                 let acc = ref 0.0 in
+                 for i = lo to hi - 1 do
+                   acc := !acc +. float_of_int i
+                 done;
+                 ignore !acc)));
     ]
   in
+  ignore (Parallel.default ());
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
   let raw =
     Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"deconv" tests)
@@ -1420,6 +1432,7 @@ let micro () =
               r_square = r2;
               runs = 0;
               iterations = Float.nan;
+              domains = Parallel.jobs ();
             })
         existing fits
     in
@@ -1510,6 +1523,7 @@ let macro_section ~smoke () =
       r_square = Float.nan;
       runs;
       iterations = iters;
+      domains = Parallel.jobs ();
     }
   in
   let records =
@@ -1577,6 +1591,93 @@ let macro_section ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Macro benchmark: multicore speedup of the parallel hot layers.      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall nanoseconds of one [f ()] through the sanctioned clock (rule R7:
+   no raw timing calls outside lib/obs). *)
+let clock_ns f =
+  let t0 = Obs.Clock.now () in
+  f ();
+  1e9 *. (Obs.Clock.now () -. t0)
+
+(* Times the two dominant parallel layers — kernel estimation (Monte
+   Carlo founder fan-out) and the GCV λ sweep — at --jobs 1 and at the
+   ambient jobs setting, prints the speedup, and appends records under
+   distinct [_mt] names so `bench compare` diffs multicore runs only
+   against earlier multicore runs, never against the sequential
+   [macro.*] history. *)
+let macro_mt () =
+  section "macro_mt (parallel layers: --jobs 1 vs the pool)";
+  let ambient = Parallel.jobs () in
+  let params = Cellpop.Params.paper_2011 in
+  let times = lv_times in
+  let kernel_job () =
+    ignore
+      (Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create 311)
+         ~n_cells:8000 ~times ~n_phi:201)
+  in
+  let kernel =
+    Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create 312)
+      ~n_cells:2000 ~times ~n_phi:101
+  in
+  let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:12 in
+  let f1, _ = Lazy.force lv_profiles in
+  let data = Deconv.Forward.apply_fn kernel f1 in
+  let problem = Deconv.Problem.create ~kernel ~basis ~measurements:data ~params () in
+  let lambdas = Optimize.Cross_validation.log_lambda_grid ~lo:(-6.0) ~hi:0.0 ~count:25 in
+  let lambda_job () = ignore (Deconv.Lambda.select problem ~method_:`Gcv ~lambdas ()) in
+  let runs = 3 in
+  let mean_ns ~jobs job =
+    Parallel.set_jobs jobs;
+    (* Force the pool into existence so worker spawning stays outside the
+       timed region (--jobs 1 never spawns anything). *)
+    ignore (Parallel.default ());
+    job ();
+    let acc = ref 0.0 in
+    for _ = 1 to runs do
+      acc := !acc +. clock_ns job
+    done;
+    !acc /. float_of_int runs
+  in
+  let rev = Obs.Trajectory.git_rev () in
+  let bench name job =
+    let seq = mean_ns ~jobs:1 job in
+    let par = if ambient = 1 then seq else mean_ns ~jobs:ambient job in
+    Printf.printf "  %-28s jobs=1 %12.0f ns  jobs=%d %12.0f ns  speedup %.2fx\n" name
+      seq ambient par (seq /. par);
+    {
+      Obs.Trajectory.name;
+      rev;
+      kind = Obs.Trajectory.Macro;
+      ns_per_run = par;
+      r_square = Float.nan;
+      runs;
+      iterations = Float.nan;
+      domains = ambient;
+    }
+  in
+  let records =
+    [
+      bench "macro.kernel_estimate_mt" kernel_job;
+      bench "macro.lambda_select_mt" lambda_job;
+    ]
+  in
+  Parallel.set_jobs ambient;
+  let path = "BENCH_deconv.json" in
+  let existing =
+    match Obs.Trajectory.load ~path with
+    | Ok t -> t
+    | Error msg ->
+      Printf.eprintf "warning: %s unreadable (%s); starting a fresh trajectory\n" path msg;
+      Obs.Trajectory.empty
+  in
+  let merged = List.fold_left Obs.Trajectory.append existing records in
+  Obs.Trajectory.save merged ~path;
+  Printf.printf "appended %d multicore records to %s (rev %s, domains %d)\n"
+    (List.length records) path rev ambient
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1610,6 +1711,7 @@ let sections =
     ("ext_recovery_study", ext_recovery_study);
     ("micro", micro);
     ("macro", macro_section ~smoke:false);
+    ("macro_mt", macro_mt);
     ("macro_smoke", macro_section ~smoke:true);
   ]
 

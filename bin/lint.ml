@@ -34,6 +34,7 @@ let () =
           | Analysis.Rules.Everywhere -> "everywhere"
           | Analysis.Rules.Lib_only -> "lib/ only"
           | Analysis.Rules.Except_obs -> "everywhere except lib/obs/"
+          | Analysis.Rules.Except_concurrency -> "everywhere except lib/parallel/ and lib/obs/"
         in
         Printf.printf "%s (%s; %s)\n    %s\n" r.Analysis.Rules.id r.Analysis.Rules.title
           scope r.Analysis.Rules.description)

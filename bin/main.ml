@@ -19,6 +19,22 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (deterministic).")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel sections (population simulation, lambda \
+                 sweeps, bootstrap). 0 = auto: $(b,DECONV_JOBS) if set, else the machine's \
+                 recommended domain count. Results are bit-identical for every value; \
+                 $(b,--jobs 1) runs the exact same schedule sequentially without spawning \
+                 any domain.")
+
+let apply_jobs jobs =
+  if jobs > 0 then Parallel.set_jobs jobs
+  else if jobs < 0 then begin
+    Printf.eprintf "error: --jobs must be >= 1 (or 0 for auto), got %d\n" jobs;
+    exit 1
+  end
+
 let cells_arg =
   Arg.(value & opt int 4000 & info [ "cells" ] ~docv:"N" ~doc:"Number of simulated founder cells.")
 
@@ -92,7 +108,8 @@ let noise_arg =
 
 (* ---------------- simulate ---------------- *)
 
-let simulate profile_name times seed cells phi_bins mu_sst cycle linear noise output =
+let simulate jobs profile_name times seed cells phi_bins mu_sst cycle linear noise output =
+  apply_jobs jobs;
   let times = parse_times times in
   let params = params_of mu_sst cycle linear in
   let profile = resolve_profile profile_name in
@@ -121,8 +138,8 @@ let simulate profile_name times seed cells phi_bins mu_sst cycle linear noise ou
 let simulate_cmd =
   let term =
     Term.(
-      const simulate $ profile_arg $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ mu_sst_arg
-      $ cycle_arg $ linear_volume_arg $ noise_arg $ output_arg)
+      const simulate $ jobs_arg $ profile_arg $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg
+      $ mu_sst_arg $ cycle_arg $ linear_volume_arg $ noise_arg $ output_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Generate population-level data from a single-cell profile.")
     term
@@ -279,8 +296,9 @@ let run_deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no
         ]));
   0
 
-let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons no_rate
-    bootstrap kernel_file trace metrics output =
+let deconvolve jobs input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons
+    no_rate bootstrap kernel_file trace metrics output =
+  apply_jobs jobs;
   let trace_channel =
     match trace with
     | None -> None
@@ -309,9 +327,9 @@ let deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos
 let deconvolve_cmd =
   let term =
     Term.(
-      const deconvolve $ input_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg $ mu_sst_arg
-      $ cycle_arg $ linear_volume_arg $ lambda_arg $ no_positivity $ no_conservation $ no_rate
-      $ bootstrap_arg $ kernel_file_arg $ trace_arg $ metrics_flag_arg $ output_arg)
+      const deconvolve $ jobs_arg $ input_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg
+      $ mu_sst_arg $ cycle_arg $ linear_volume_arg $ lambda_arg $ no_positivity $ no_conservation
+      $ no_rate $ bootstrap_arg $ kernel_file_arg $ trace_arg $ metrics_flag_arg $ output_arg)
   in
   Cmd.v
     (Cmd.info "deconvolve"
@@ -326,7 +344,8 @@ let kernel_cmd =
          & info [ "save" ] ~docv:"FILE"
              ~doc:"Save the kernel in the loadable format for `deconvolve --kernel`.")
   in
-  let run times seed cells phi_bins mu_sst cycle linear save output =
+  let run jobs times seed cells phi_bins mu_sst cycle linear save output =
+    apply_jobs jobs;
     let times = parse_times times in
     let params = params_of mu_sst cycle linear in
     let kernel =
@@ -363,15 +382,16 @@ let kernel_cmd =
   in
   let term =
     Term.(
-      const run $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ mu_sst_arg $ cycle_arg
-      $ linear_volume_arg $ save_arg $ output_arg)
+      const run $ jobs_arg $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ mu_sst_arg
+      $ cycle_arg $ linear_volume_arg $ save_arg $ output_arg)
   in
   Cmd.v (Cmd.info "kernel" ~doc:"Estimate and inspect the population kernel Q(phi, t).") term
 
 (* ---------------- celltypes ---------------- *)
 
 let celltypes_cmd =
-  let run times seed cells mu_sst cycle linear =
+  let run jobs times seed cells mu_sst cycle linear =
+    apply_jobs jobs;
     let times =
       match times with None -> Dataio.Datasets.judd_times | Some _ -> parse_times times
     in
@@ -389,14 +409,17 @@ let celltypes_cmd =
     0
   in
   let term =
-    Term.(const run $ times_arg $ seed_arg $ cells_arg $ mu_sst_arg $ cycle_arg $ linear_volume_arg)
+    Term.(
+      const run $ jobs_arg $ times_arg $ seed_arg $ cells_arg $ mu_sst_arg $ cycle_arg
+      $ linear_volume_arg)
   in
   Cmd.v (Cmd.info "celltypes" ~doc:"Simulate the cell-type distribution over time (fig 4).") term
 
 (* ---------------- identifiability ---------------- *)
 
 let identifiability_cmd =
-  let run times seed cells phi_bins knots mu_sst cycle linear =
+  let run jobs times seed cells phi_bins knots mu_sst cycle linear =
+    apply_jobs jobs;
     let times = parse_times times in
     let params = params_of mu_sst cycle linear in
     let kernel =
@@ -419,8 +442,8 @@ let identifiability_cmd =
   in
   let term =
     Term.(
-      const run $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg $ mu_sst_arg
-      $ cycle_arg $ linear_volume_arg)
+      const run $ jobs_arg $ times_arg $ seed_arg $ cells_arg $ phi_bins_arg $ knots_arg
+      $ mu_sst_arg $ cycle_arg $ linear_volume_arg)
   in
   Cmd.v
     (Cmd.info "identifiability"
@@ -439,7 +462,8 @@ let schedule_cmd =
   let step_arg =
     Arg.(value & opt float 5.0 & info [ "step" ] ~docv:"MIN" ~doc:"Candidate-time spacing.")
   in
-  let run budget horizon step seed cells phi_bins knots mu_sst cycle linear =
+  let run jobs budget horizon step seed cells phi_bins knots mu_sst cycle linear =
+    apply_jobs jobs;
     let params = params_of mu_sst cycle linear in
     let n_candidates = (int_of_float (horizon /. step)) + 1 in
     let pool = Array.init n_candidates (fun i -> step *. float_of_int i) in
@@ -459,8 +483,8 @@ let schedule_cmd =
   in
   let term =
     Term.(
-      const run $ budget_arg $ horizon_arg $ step_arg $ seed_arg $ cells_arg $ phi_bins_arg
-      $ knots_arg $ mu_sst_arg $ cycle_arg $ linear_volume_arg)
+      const run $ jobs_arg $ budget_arg $ horizon_arg $ step_arg $ seed_arg $ cells_arg
+      $ phi_bins_arg $ knots_arg $ mu_sst_arg $ cycle_arg $ linear_volume_arg)
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Choose D-optimal measurement times for a sampling budget.")
@@ -474,7 +498,8 @@ let calibrate_cmd =
          & info [] ~docv:"FRACTIONS.CSV"
              ~doc:"CSV with columns minutes,SW,STE,STEPD,STLPD (default: embedded Judd data).")
   in
-  let run input seed cells =
+  let run jobs input seed cells =
+    apply_jobs jobs;
     let observation =
       match input with
       | None -> Cellpop.Calibrate.judd
@@ -513,7 +538,7 @@ let calibrate_cmd =
       p.Cellpop.Params.mu_sst p.Cellpop.Params.mean_cycle_minutes;
     0
   in
-  let term = Term.(const run $ input_arg $ seed_arg $ cells_arg) in
+  let term = Term.(const run $ jobs_arg $ input_arg $ seed_arg $ cells_arg) in
   Cmd.v
     (Cmd.info "calibrate"
        ~doc:"Fit the asynchrony model to a cell-type fraction time course.")

@@ -34,6 +34,15 @@ let in_obs path =
   | _file :: dir :: _ -> String.equal dir "obs"
   | _ -> false
 
+(* The domain-pool implementation: together with lib/obs, the only code
+   allowed to touch the raw concurrency primitives (rule R8's exemption). *)
+let in_parallel path =
+  in_lib path
+  &&
+  match List.rev (segments path) with
+  | _file :: dir :: _ -> String.equal dir "parallel"
+  | _ -> false
+
 (* ---------------- rule implementations ---------------- *)
 
 (* The paper constants of rule R4: phi_sst ~ N(0.15, (0.13*0.15)^2), the
@@ -165,6 +174,7 @@ type ctx = {
   lib : bool;
   params : bool;
   obs : bool;  (* under lib/obs/: exempt from R7 *)
+  conc : bool;  (* under lib/parallel/ or lib/obs/: exempt from R8 *)
   mutable in_data : bool;  (* inside an array/list literal (data table) *)
   mutable acc : Finding.t list;
 }
@@ -294,6 +304,29 @@ let check_r7 ctx e =
         ~hint:"use Obs.Clock.now (), or add a source to Obs.Clock if a new clock is needed"
     | _ -> ()
 
+(* R8: raw concurrency primitives outside lib/parallel and lib/obs. Flag
+   the identifier itself (like R7) so bare references are caught too. *)
+let check_r8 ctx e =
+  if not ctx.conc then
+    match e.pexp_desc with
+    | Pexp_ident { txt = Ldot (Lident "Domain", "spawn"); _ } ->
+      report ctx ~loc:e.pexp_loc ~rule:"R8"
+        ~message:
+          "raw Domain.spawn outside lib/parallel bypasses the deterministic pool: results \
+           would depend on the ad-hoc fan-out, not the fixed chunk schedule"
+        ~hint:"use Parallel.parallel_for / Parallel.parallel_map (or a Parallel.Pool)"
+    | Pexp_ident { txt = Ldot (Lident (("Mutex" | "Condition") as m), fn); _ } ->
+      report ctx ~loc:e.pexp_loc ~rule:"R8"
+        ~message:
+          (Printf.sprintf
+             "raw lock primitive %s.%s outside lib/parallel and lib/obs risks deadlock \
+              against the pool's own lock"
+             m fn)
+        ~hint:
+          "fan work out through Parallel (workers never need app-level locks: each chunk \
+           owns its output slots); shared-sink guards belong in lib/obs"
+    | _ -> ()
+
 let check_r6 ctx f args =
   let is_ignore e =
     match ident_of e with
@@ -335,6 +368,7 @@ let make_iterator ctx =
     check_r4 ctx e;
     check_r5_ident ctx e;
     check_r7 ctx e;
+    check_r8 ctx e;
     match e.pexp_desc with
     | Pexp_array _ | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
       let saved = ctx.in_data in
@@ -375,6 +409,7 @@ let walk_source ~path source =
           lib = in_lib path;
           params = is_params_file path;
           obs = in_obs path;
+          conc = in_obs path || in_parallel path;
           in_data = false;
           acc = [];
         }

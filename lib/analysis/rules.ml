@@ -1,4 +1,4 @@
-type scope = Everywhere | Lib_only | Except_obs
+type scope = Everywhere | Lib_only | Except_obs | Except_concurrency
 
 type t = { id : string; title : string; scope : scope; description : string }
 
@@ -90,6 +90,19 @@ let all =
          Obs.Clock.now so it is monotonic, wall-clock, and mockable in tests. \
          Only lib/obs (the clock implementation itself) may read the real \
          clock.";
+    };
+    {
+      id = "R8";
+      title = "raw concurrency primitive outside the concurrency layers";
+      scope = Except_concurrency;
+      description =
+        "Domain.spawn, Mutex.* or Condition.* referenced outside lib/parallel \
+         and lib/obs. Ad-hoc domain spawning breaks the deterministic chunk \
+         schedule (results must be bit-identical at every --jobs setting) and \
+         ad-hoc locks invite deadlocks against the pool's own mutex. Fan work \
+         out through Parallel.parallel_for / parallel_map; only the pool \
+         implementation (lib/parallel) and the observability layer's guards \
+         (lib/obs) may touch the raw primitives.";
     };
   ]
 

@@ -1,12 +1,14 @@
 (** The registry of numerical-safety rules enforced by deconv-lint.
 
-    Rule ids are stable strings ("R0".."R7") used in findings, in
+    Rule ids are stable strings ("R0".."R8") used in findings, in
     [--disable] flags and in suppression comments. *)
 
 type scope =
   | Everywhere  (** enforced in every linted file *)
   | Lib_only  (** enforced only for files under a [lib/] directory *)
   | Except_obs  (** enforced everywhere except under [lib/obs/] *)
+  | Except_concurrency
+      (** enforced everywhere except under [lib/parallel/] and [lib/obs/] *)
 
 type t = {
   id : string;

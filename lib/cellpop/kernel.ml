@@ -35,32 +35,35 @@ let of_snapshots ?(smooth_window = 1) params snapshots ~n_phi ~n0 =
   let n_t = Array.length snapshots in
   let q_tilde = Mat.zeros n_t n_phi in
   let q = Mat.zeros n_t n_phi in
-  Array.iteri
-    (fun m (s : Population.snapshot) ->
-      let row = Array.make n_phi 0.0 in
-      Array.iter
-        (fun c ->
-          let v = Cell.volume params c in
-          (* Cloud-in-cell deposit: split the cell volume between the two
-             nearest bin centers. *)
-          let pos = (c.Cell.phase /. bin_width) -. 0.5 in
-          let j0 = int_of_float (Float.floor pos) in
-          let frac = pos -. float_of_int j0 in
-          let deposit j w =
-            if j >= 0 && j < n_phi then row.(j) <- row.(j) +. (w *. v)
-            else if j < 0 then row.(0) <- row.(0) +. (w *. v)
-            else row.(n_phi - 1) <- row.(n_phi - 1) +. (w *. v)
-          in
-          deposit j0 (1.0 -. frac);
-          deposit (j0 + 1) frac)
-        s.Population.cells;
-      (* Per-founder volume density: divide by n0 and bin width. *)
-      let density = Array.map (fun x -> x /. (float_of_int n0 *. bin_width)) row in
-      let density = smooth_row smooth_window density in
-      Mat.set_row q_tilde m density;
-      let total = Vec.sum density *. bin_width in
-      if total > 0.0 then Mat.set_row q m (Array.map (fun x -> x /. total) density))
-    snapshots;
+  (* Each snapshot bins into its own matrix row, so rows deposit in
+     parallel; the result is identical in any order. *)
+  Parallel.parallel_for ~chunk:1 ~n:n_t (fun ~lo ~hi ->
+      for m = lo to hi - 1 do
+        let s : Population.snapshot = snapshots.(m) in
+        let row = Array.make n_phi 0.0 in
+        Array.iter
+          (fun c ->
+            let v = Cell.volume params c in
+            (* Cloud-in-cell deposit: split the cell volume between the two
+               nearest bin centers. *)
+            let pos = (c.Cell.phase /. bin_width) -. 0.5 in
+            let j0 = int_of_float (Float.floor pos) in
+            let frac = pos -. float_of_int j0 in
+            let deposit j w =
+              if j >= 0 && j < n_phi then row.(j) <- row.(j) +. (w *. v)
+              else if j < 0 then row.(0) <- row.(0) +. (w *. v)
+              else row.(n_phi - 1) <- row.(n_phi - 1) +. (w *. v)
+            in
+            deposit j0 (1.0 -. frac);
+            deposit (j0 + 1) frac)
+          s.Population.cells;
+        (* Per-founder volume density: divide by n0 and bin width. *)
+        let density = Array.map (fun x -> x /. (float_of_int n0 *. bin_width)) row in
+        let density = smooth_row smooth_window density in
+        Mat.set_row q_tilde m density;
+        let total = Vec.sum density *. bin_width in
+        if total > 0.0 then Mat.set_row q m (Array.map (fun x -> x /. total) density)
+      done);
   { phases; bin_width; times; q; q_tilde }
 
 let estimate ?smooth_window params ~rng ~n_cells ~times ~n_phi =

@@ -14,6 +14,38 @@ let rec advance_cell params rng out cell dt =
     advance_cell params rng out stalked remaining
   end
 
+(* Founders per RNG chunk. Fixed — never derived from the domain count —
+   so the substream each founder sees is a function of (seed, n0) alone
+   and simulation results are bit-identical at every jobs setting. *)
+let founders_per_chunk = 256
+
+(* Simulate founders [lo, hi) through every snapshot time with a private
+   generator. Cells are independent, so a chunk's trajectory never needs
+   to see another chunk's cells; the per-time cell arrays are merged by
+   the caller in chunk order. *)
+let simulate_chunk params crng ~lo ~hi ~times =
+  let count = hi - lo in
+  let first = Cell.founder params crng in
+  let founders = Array.make count first in
+  for i = 1 to count - 1 do
+    founders.(i) <- Cell.founder params crng
+  done;
+  let current = ref founders in
+  let now = ref 0.0 in
+  let n_times = Array.length times in
+  let per_time = Array.make n_times [||] in
+  for i = 0 to n_times - 1 do
+    let dt = times.(i) -. !now in
+    if dt > 0.0 then begin
+      let out = ref [] in
+      Array.iter (fun c -> advance_cell params crng out c dt) !current;
+      current := Array.of_list !out;
+      now := times.(i)
+    end;
+    per_time.(i) <- Array.copy !current
+  done;
+  per_time
+
 let simulate params ~rng ~n0 ~times =
   Obs.Span.with_ "population.simulate" (fun sp ->
       assert (n0 > 0);
@@ -23,26 +55,34 @@ let simulate params ~rng ~n0 ~times =
         assert (times.(i) < times.(i + 1))
       done;
       assert (times.(0) >= 0.0);
+      let n_chunks = (n0 + founders_per_chunk - 1) / founders_per_chunk in
       Obs.Span.set_int sp "n0" n0;
       Obs.Span.set_int sp "n_times" n_times;
-      let founders = Array.init n0 (fun _ -> Cell.founder params rng) in
-      let current = ref founders in
-      let now = ref 0.0 in
-      let snapshots =
-        Array.map
-          (fun t ->
-            let dt = t -. !now in
-            if dt > 0.0 then begin
-              let out = ref [] in
-              Array.iter (fun c -> advance_cell params rng out c dt) !current;
-              current := Array.of_list !out;
-              now := t
-            end;
-            { time = t; cells = Array.copy !current })
-          times
+      Obs.Span.set_int sp "chunks" n_chunks;
+      (* One substream per chunk, derived in ascending chunk order before
+         any dispatch: the derivation consumes the parent generator
+         sequentially, so neither the substreams nor the parent's final
+         state depend on execution order. *)
+      let rngs = Array.make n_chunks rng in
+      for c = 0 to n_chunks - 1 do
+        rngs.(c) <- Numerics.Rng.split rng
+      done;
+      let per_chunk =
+        Parallel.parallel_map ~chunk:1 ~n:n_chunks (fun c ->
+            let lo = c * founders_per_chunk in
+            let hi = Stdlib.min n0 (lo + founders_per_chunk) in
+            simulate_chunk params rngs.(c) ~lo ~hi ~times)
       in
-      Obs.Span.set_int sp "final_cells" (Array.length !current);
-      Obs.Metrics.incr ~by:(float_of_int (Array.length !current)) "population.cells_simulated";
+      let snapshots =
+        Array.init n_times (fun i ->
+            {
+              time = times.(i);
+              cells = Array.concat (Array.to_list (Array.map (fun pt -> pt.(i)) per_chunk));
+            })
+      in
+      let final_cells = Array.length snapshots.(n_times - 1).cells in
+      Obs.Span.set_int sp "final_cells" final_cells;
+      Obs.Metrics.incr ~by:(float_of_int final_cells) "population.cells_simulated";
       snapshots)
 
 let count s = Array.length s.cells

@@ -16,7 +16,13 @@ val simulate : Params.t -> rng:Rng.t -> n0:int -> times:Vec.t -> snapshot array
     condition and records the population at each requested time (increasing,
     first may be 0). Division events are located exactly in time (phase
     progression is linear), so results do not depend on an integration
-    step. *)
+    step.
+
+    Founder cells are simulated in fixed 256-founder chunks, each with its
+    own [Rng.split] substream, fanned across the default {!Parallel} pool.
+    The chunk schedule depends only on [n0], so the snapshots (and the
+    final state of [rng]) are bit-for-bit identical at every jobs
+    setting. *)
 
 val count : snapshot -> int
 

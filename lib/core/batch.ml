@@ -29,7 +29,12 @@ let solve_gene t ?sigmas ?(lambda = `Gcv) ~measurements () =
 
 let solve_all t ?sigmas ?lambda ~measurements () =
   let genes, _ = Mat.dims measurements in
-  Array.init genes (fun g ->
+  (* Whole solves fan out per gene; a gene's inner λ sweep then finds the
+     pool busy and runs inline (Parallel's nested fallback), which is the
+     right granularity — genes outnumber domains long before candidates
+     do. GCV is deterministic, so per-gene results do not depend on the
+     fan-out. *)
+  Parallel.parallel_map ~chunk:1 ~n:genes (fun g ->
       let sigma_row = Option.map (fun s -> Mat.row s g) sigmas in
       solve_gene t ?sigmas:sigma_row ?lambda ~measurements:(Mat.row measurements g) ())
 

@@ -20,14 +20,25 @@ let residual ?(replicates = 200) ?(level = 0.9) problem (estimate : Solver.estim
   let standardized = Array.init n_m (fun m -> (g.(m) -. fitted.(m)) /. sigmas.(m)) in
   let n_phi = Array.length estimate.Solver.profile in
   let profiles = Mat.zeros replicates n_phi in
+  (* One substream per replicate, derived sequentially up front, so the
+     resampling draws are a function of the replicate index alone and the
+     fan-out below is bit-identical at every jobs setting. Each replicate
+     solves into its own matrix row. *)
+  let rngs = Array.make replicates rng in
   for b = 0 to replicates - 1 do
-    let resampled =
-      Array.init n_m (fun m -> fitted.(m) +. (sigmas.(m) *. Rng.pick rng standardized))
-    in
-    let problem_b = { problem with Problem.measurements = resampled } in
-    let estimate_b = Solver.solve ~lambda:estimate.Solver.lambda problem_b in
-    Mat.set_row profiles b estimate_b.Solver.profile
+    rngs.(b) <- Rng.split rng
   done;
+  Parallel.parallel_for ~n:replicates (fun ~lo ~hi ->
+      for b = lo to hi - 1 do
+        let brng = rngs.(b) in
+        let resampled = Array.make n_m 0.0 in
+        for m = 0 to n_m - 1 do
+          resampled.(m) <- fitted.(m) +. (sigmas.(m) *. Rng.pick brng standardized)
+        done;
+        let problem_b = { problem with Problem.measurements = resampled } in
+        let estimate_b = Solver.solve ~lambda:estimate.Solver.lambda problem_b in
+        Mat.set_row profiles b estimate_b.Solver.profile
+      done);
   let alpha = (1.0 -. level) /. 2.0 in
   let percentile q = Array.init n_phi (fun j -> Stats.quantile (Mat.col profiles j) q) in
   {

@@ -72,10 +72,14 @@ let kfold problem ~rng ~k ~lambdas =
     Mat.init (Array.length rows) a.Mat.cols (fun i j -> Mat.get a rows.(i) j)
   in
   let subvec rows v = Array.map (fun i -> v.(i)) rows in
-  (* One fold seed for the whole sweep so every λ sees the same folds. *)
-  let fold_seed = Int64.to_int (Rng.int64 rng) land 0x3FFFFFFF in
+  (* One fold master for the whole sweep so every λ sees the same folds.
+     [split] (not a truncated raw draw) keeps the derivation well-defined,
+     and each candidate scores against a private [copy] — the master is
+     never mutated during the sweep, so parallel candidates share folds
+     without sharing generator state. *)
+  let fold_master = Rng.split rng in
   let score_of lambda =
-    let fold_rng = Rng.create fold_seed in
+    let fold_rng = Rng.copy fold_master in
     Optimize.Cross_validation.kfold_score ~rng:fold_rng ~k ~n
       ~fit_on:(fun ~train lambda ->
         Optimize.Ridge.solve ~a:(submatrix train) ~b:(subvec train b) ~weights:(subvec train w)
@@ -109,10 +113,13 @@ let lcurve problem ~lambdas =
   let n_l = Array.length lambdas in
   assert (n_l >= 3);
   (* Candidates whose solve fails or yields non-finite misfit/roughness are
-     dropped (None): they take no part in the curvature search. *)
+     dropped (None): they take no part in the curvature search. Each
+     unconstrained solve is independent, so the grid fans out across the
+     default pool; the curvature search below runs on the index-ordered
+     points and is oblivious to execution order. *)
   let points =
-    Array.map
-      (fun lambda ->
+    Parallel.parallel_map ~chunk:1 ~n:n_l (fun i ->
+        let lambda = lambdas.(i) in
         Obs.Span.with_ "lambda.candidate" (fun sp ->
             Obs.Span.set_float sp "lambda" lambda;
             if not (usable_lambda lambda) then None
@@ -125,7 +132,6 @@ let lcurve problem ~lambdas =
                 let x = log (Float.max 1e-300 est.Solver.data_misfit) in
                 let y = log (Float.max 1e-300 est.Solver.roughness) in
                 if Float.is_finite x && Float.is_finite y then Some (x, y) else None))
-      lambdas
   in
   if not (Array.exists Option.is_some points) then
     Robust.Error.raise_error (Robust.Error.Non_finite { stage = "lambda selection (L-curve)" });

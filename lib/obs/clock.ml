@@ -4,7 +4,11 @@ let wall = Unix.gettimeofday
 
 let current : source ref = ref wall
 
-(* Highest reading handed out so far; [now] never goes below it. *)
+(* Highest reading handed out so far; [now] never goes below it. The lock
+   keeps the clamp consistent when spans start/stop on worker domains —
+   monotonicity then holds across the whole process, not per domain. *)
+let lock = Mutex.create ()
+
 let last = ref neg_infinity
 
 let set_source src =
@@ -12,9 +16,18 @@ let set_source src =
   last := neg_infinity
 
 let now () =
-  let t = !current () in
-  let t = if t > !last then t else !last in
-  last := t;
+  Mutex.lock lock;
+  let t =
+    match !current () with
+    | t ->
+      let t = if t > !last then t else !last in
+      last := t;
+      t
+    | exception e ->
+      Mutex.unlock lock;
+      raise e
+  in
+  Mutex.unlock lock;
   t
 
 let with_source src f =

@@ -12,8 +12,11 @@
     non-decreasing so span durations can never come out negative when the
     system clock steps backwards.
 
-    The clock is process-global mutable state; like the rest of [Obs] it
-    assumes a single-threaded client. *)
+    The clock is process-global mutable state; reads are mutex-guarded so
+    the monotonicity clamp holds across domains when pool workers
+    ([lib/parallel]) time spans concurrently. [set_source] /
+    [with_source] remain main-domain operations: swap sources only while
+    no parallel work is in flight. *)
 
 type source = unit -> float
 (** A time source: seconds, as an absolute or arbitrary-epoch value. Only

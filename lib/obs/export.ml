@@ -37,17 +37,28 @@ let memory () =
 
 let active : sink option ref = ref None
 
+(* Spans and metrics can be emitted from worker domains under a parallel
+   section; the sink (a shared out_channel or the memory accumulator) is
+   not domain-safe on its own, so all emission serializes here. The
+   [tracing] fast path — the only cost when no sink is installed — stays
+   an unlocked load. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let tracing () = Option.is_some !active
 
-let emit e = match !active with Some s -> s.emit e | None -> ()
+let emit e = locked (fun () -> match !active with Some s -> s.emit e | None -> ())
 
-let flush () = match !active with Some s -> s.flush () | None -> ()
+let flush () = locked (fun () -> match !active with Some s -> s.flush () | None -> ())
 
-let install s = active := Some s
+let install s = locked (fun () -> active := Some s)
 
 let uninstall () =
   flush ();
-  active := None
+  locked (fun () -> active := None)
 
 (* ---------------- JSON writing ---------------- *)
 

@@ -20,14 +20,25 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
+(* The registries are process-global and reachable from worker domains
+   (e.g. per-candidate counters under a parallel λ sweep); every access
+   path locks. The [!on] fast path stays unlocked so disabled metrics
+   cost one load. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let counters : (string, float ref) Hashtbl.t = Hashtbl.create 16
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, hist) Hashtbl.t = Hashtbl.create 16
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histograms
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms)
 
 let cell table name =
   match Hashtbl.find_opt table name with
@@ -38,15 +49,16 @@ let cell table name =
     c
 
 let incr ?(by = 1.0) name =
-  if !on then begin
-    let c = cell counters name in
-    c := !c +. by
-  end
+  if !on then
+    locked (fun () ->
+        let c = cell counters name in
+        c := !c +. by)
 
-let set name v = if !on then cell gauges name := v
+let set name v = if !on then locked (fun () -> cell gauges name := v)
 
 let observe name v =
-  if !on then begin
+  if !on then
+    locked @@ fun () ->
     let h =
       match Hashtbl.find_opt histograms name with
       | Some h -> h
@@ -68,7 +80,6 @@ let observe name v =
     h.sum <- h.sum +. v;
     h.mn <- Float.min h.mn v;
     h.mx <- Float.max h.mx v
-  end
 
 (* Nearest-rank percentile over the recorded samples ([q] in [0,1]). *)
 let percentile sorted q =
@@ -82,6 +93,7 @@ let percentile sorted q =
 let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
 
 let snapshot () =
+  locked @@ fun () ->
   let scalars kind table =
     Hashtbl.fold (fun name c acc -> { name; kind; fields = [ ("value", !c) ] } :: acc) table []
   in

@@ -6,7 +6,11 @@
     separate namespaces (a counter and a gauge may share a name, though
     instrumented code should not do that).
 
-    Like [Span], the registry is process-global and single-threaded. *)
+    Like [Span], the registry is process-global — and domain-safe: a
+    mutex guards registration and every recording call, so pool workers
+    ([lib/parallel]) may emit metrics concurrently. Counter increments
+    from concurrent chunks interleave in nondeterministic order but the
+    totals are exact. *)
 
 type kind = Counter | Gauge | Histogram
 

@@ -8,17 +8,21 @@ type live = {
 
 type t = Disabled | Live of live
 
-let next_id = ref 0
+(* Ids are process-global so spans emitted from different domains never
+   collide; the running-span stack is domain-local, so a span opened on a
+   worker domain nests under that domain's own spans only. A worker-domain
+   root span carries a ["domain"] attribute instead of a parent: the
+   exporter's summary treats it as a root, which is the defined ordering
+   story under [--jobs > 1] — per-task trees, tagged with their domain. *)
+let next_id = Atomic.make 0
 
-(* Innermost running span first. Single-threaded by assumption (as is the
-   rest of the library: solver, pipeline and RNG state are not shared). *)
-let stack : live list ref = ref []
+let stack_key : live list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
 let enabled () = Export.tracing ()
 
 let reset () =
-  next_id := 0;
-  stack := []
+  Atomic.set next_id 0;
+  Domain.DLS.get stack_key := []
 
 let set t key v =
   match t with
@@ -38,11 +42,16 @@ let set_bool t key v = set t key (Export.Bool v)
 let with_ ?(attrs = []) name f =
   if not (Export.tracing ()) then f Disabled
   else begin
-    incr next_id;
+    let stack = Domain.DLS.get stack_key in
+    let id = Atomic.fetch_and_add next_id 1 + 1 in
     let parent = match !stack with [] -> None | l :: _ -> Some l.id in
-    let live =
-      { id = !next_id; parent; name; start_s = Clock.now (); attrs = List.rev attrs }
+    let attrs =
+      match parent with
+      | None when not (Domain.is_main_domain ()) ->
+        attrs @ [ ("domain", Export.Int (Domain.self () :> int)) ]
+      | _ -> attrs
     in
+    let live = { id; parent; name; start_s = Clock.now (); attrs = List.rev attrs } in
     stack := live :: !stack;
     Fun.protect
       ~finally:(fun () ->

@@ -5,6 +5,12 @@
     opened while another is running records it as its parent, so the
     exporter can rebuild the call tree from parent ids alone.
 
+    Domain-safe: ids are process-global (atomic), the running-span stack
+    is domain-local. A span opened on a worker domain nests under that
+    domain's spans only; a worker-domain root span carries a ["domain"]
+    attribute and renders as its own root tree in the summary — the
+    defined parent/ordering story under [--jobs > 1].
+
     When no sink is installed ({!Export.tracing} is [false]) the whole
     mechanism degenerates to one branch: [f] runs with a dummy handle and
     every [set_*] is a no-op — instrumentation left in hot paths costs
@@ -39,5 +45,5 @@ val enabled : unit -> bool
     Use it to skip computing expensive attribute values. *)
 
 val reset : unit -> unit
-(** Clear the span stack and restart ids from 1. Test helper: makes span
-    ids deterministic within a test case. *)
+(** Clear the calling domain's span stack and restart ids from 1. Test
+    helper: makes span ids deterministic within a test case. *)

@@ -10,6 +10,7 @@ type record = {
   r_square : float;
   runs : int;
   iterations : float;
+  domains : int;
 }
 
 type t = record list
@@ -60,12 +61,13 @@ let git_rev () =
 
 let record_json r =
   Printf.sprintf
-    "{\"name\":\"%s\",\"rev\":\"%s\",\"kind\":\"%s\",\"ns_per_run\":%s,\"r_square\":%s,\"runs\":%d,\"iterations\":%s}"
+    "{\"name\":\"%s\",\"rev\":\"%s\",\"kind\":\"%s\",\"ns_per_run\":%s,\"r_square\":%s,\"runs\":%d,\"iterations\":%s,\"domains\":%d}"
     (Export.json_escape r.name) (Export.json_escape r.rev) (kind_name r.kind)
     (Export.float_json r.ns_per_run)
     (Export.float_json r.r_square)
     r.runs
     (Export.float_json r.iterations)
+    r.domains
 
 let to_json_string t =
   let buf = Buffer.create 1024 in
@@ -111,6 +113,9 @@ let record_of_json = function
           r_square = as_float (field "r_square" obj);
           runs = (match field "runs" obj with Some _ as f -> as_int f | None -> 0);
           iterations = as_float (field "iterations" obj);
+          (* Records written before the parallel pool existed were all
+             single-domain runs. *)
+          domains = (match field "domains" obj with Some _ as f -> as_int f | None -> 1);
         }
   | _ -> Error "record is not an object"
 

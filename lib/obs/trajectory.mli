@@ -29,6 +29,9 @@ type record = {
   iterations : float;
       (** mean solver iterations per run (QP interior-point or
           Richardson–Lucy), NaN when the bench has no solver inside *)
+  domains : int;
+      (** domain count the bench ran with ([Parallel.jobs ()] at record
+          time); records predating the pool load as 1 *)
 }
 
 type t

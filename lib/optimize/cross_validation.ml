@@ -21,12 +21,15 @@ type 'fit score = { lambda : float; score : float; fit : 'fit }
 
 let select ~lambdas ~fit_and_score =
   assert (Array.length lambdas > 0);
+  (* Candidates are scored independently (each solve builds its own
+     factorizations), so the sweep fans out across the default pool; the
+     argmin runs over the index-ordered results, so the winner — ties
+     included — is the same at every jobs setting. *)
   let scores =
-    Array.map
-      (fun lambda ->
+    Parallel.parallel_map ~chunk:1 ~n:(Array.length lambdas) (fun i ->
+        let lambda = lambdas.(i) in
         let fit, s = fit_and_score lambda in
         { lambda; score = s; fit })
-      lambdas
   in
   let best = ref scores.(0) in
   Array.iter (fun s -> if s.score < !best.score then best := s) scores;

@@ -1,0 +1,240 @@
+(* A small domain pool. Design constraints, in order:
+
+   1. Determinism: the chunk schedule of a job depends only on (n, chunk),
+      never on how many domains execute it, so callers can derive one RNG
+      substream per chunk and get bit-identical results at every jobs
+      setting.
+   2. No surprises under failure: the first exception cancels the job's
+      unclaimed chunks and is re-raised (with backtrace) in the submitting
+      domain after in-flight chunks drain; the pool remains usable.
+   3. No deadlocks under nesting: a submission while the pool is busy
+      (reentrant, or from a worker domain) runs inline instead.
+
+   One job runs at a time. Workers and the submitting domain claim chunks
+   from a shared counter under the pool mutex and execute them unlocked. *)
+
+module Pool = struct
+  type job = {
+    body : lo:int -> hi:int -> unit;
+    chunk : int;
+    n : int;
+    n_chunks : int;
+    mutable next : int;  (* first unclaimed chunk *)
+    mutable remaining : int;  (* chunks not yet completed *)
+    mutable failure : (exn * Printexc.raw_backtrace) option;
+  }
+
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    work : Condition.t;  (* signalled when a job is installed or on stop *)
+    done_ : Condition.t;  (* signalled when a job completes *)
+    mutable job : job option;
+    mutable busy : bool;
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+    mutable spawned : bool;  (* workers are created on first dispatch *)
+  }
+
+  let create ~domains =
+    if domains < 1 then invalid_arg "Parallel.Pool.create: domains must be >= 1";
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      job = None;
+      busy = false;
+      stop = false;
+      workers = [];
+      spawned = false;
+    }
+
+  let domains t = t.size
+
+  (* Fixed fan-out target: enough chunks that uneven per-chunk cost still
+     balances across domains, few enough that claiming stays cheap. Must
+     not depend on the pool size (determinism contract). *)
+  let default_chunk n = Stdlib.max 1 (n / 64)
+
+  let chunk_size ~chunk ~n =
+    let c = match chunk with Some c -> c | None -> default_chunk n in
+    if c < 1 then invalid_arg "Parallel: chunk must be >= 1";
+    c
+
+  let run_inline ~chunk ~n body =
+    let c = ref 0 in
+    while !c * chunk < n do
+      let lo = !c * chunk in
+      let hi = Stdlib.min n (lo + chunk) in
+      body ~lo ~hi;
+      incr c
+    done
+
+  (* Claim and execute chunks of [job] until none are unclaimed. Called
+     with [t.mutex] held; returns with it held. *)
+  let drain t job =
+    while job.next < job.n_chunks do
+      let c = job.next in
+      job.next <- c + 1;
+      Mutex.unlock t.mutex;
+      let failure =
+        let lo = c * job.chunk in
+        let hi = Stdlib.min job.n (lo + job.chunk) in
+        match job.body ~lo ~hi with
+        | () -> None
+        (* lint: allow R2 -- captured with its backtrace and re-raised by
+           [parallel_for] in the submitting domain once the job drains *)
+        | exception e -> Some (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      (match (failure, job.failure) with
+      | Some _, None ->
+        job.failure <- failure;
+        (* Cancel the unclaimed tail; chunks already in flight on other
+           domains finish normally. *)
+        job.remaining <- job.remaining - (job.n_chunks - job.next);
+        job.next <- job.n_chunks
+      | _ -> ());
+      job.remaining <- job.remaining - 1;
+      if job.remaining = 0 then begin
+        t.job <- None;
+        Condition.broadcast t.done_
+      end
+    done
+
+  let rec worker_loop t =
+    match t.job with
+    | Some job when job.next < job.n_chunks ->
+      drain t job;
+      worker_loop t
+    | _ ->
+      if not t.stop then begin
+        Condition.wait t.work t.mutex;
+        worker_loop t
+      end
+
+  let worker t =
+    Mutex.lock t.mutex;
+    worker_loop t;
+    Mutex.unlock t.mutex
+
+  (* With [t.mutex] held. *)
+  let ensure_workers t =
+    if not t.spawned then begin
+      t.spawned <- true;
+      t.workers <- List.init (t.size - 1) (fun _ -> Domain.spawn (fun () -> worker t))
+    end
+
+  let parallel_for t ?chunk ~n body =
+    if n > 0 then begin
+      let chunk = chunk_size ~chunk ~n in
+      let n_chunks = (n + chunk - 1) / chunk in
+      if t.size = 1 || n_chunks = 1 then run_inline ~chunk ~n body
+      else begin
+        Mutex.lock t.mutex;
+        if t.busy || t.stop then begin
+          (* Nested (or post-shutdown) submission: same chunk schedule,
+             executed inline — results are identical by construction. *)
+          Mutex.unlock t.mutex;
+          run_inline ~chunk ~n body
+        end
+        else begin
+          t.busy <- true;
+          ensure_workers t;
+          let job =
+            { body; chunk; n; n_chunks; next = 0; remaining = n_chunks; failure = None }
+          in
+          t.job <- Some job;
+          Condition.broadcast t.work;
+          drain t job;
+          while job.remaining > 0 do
+            Condition.wait t.done_ t.mutex
+          done;
+          t.busy <- false;
+          Mutex.unlock t.mutex;
+          match job.failure with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ()
+        end
+      end
+    end
+
+  let parallel_map t ?chunk ~n f =
+    if n <= 0 then [||]
+    else begin
+      let out = Array.make n None in
+      parallel_for t ?chunk ~n (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f i)
+          done);
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    List.iter Domain.join ws
+end
+
+(* ---------------- the global default pool ---------------- *)
+
+(* Guards [requested]/[current]: [default ()] can be reached from worker
+   domains through nested library calls. *)
+let state_mutex = Mutex.create ()
+
+let requested : int option ref = ref None
+let current : Pool.t option ref = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "DECONV_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let jobs () =
+  match !requested with
+  | Some n -> n
+  | None -> (
+    match env_jobs () with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ())
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
+  Mutex.lock state_mutex;
+  requested := Some n;
+  Mutex.unlock state_mutex
+
+let default () =
+  Mutex.lock state_mutex;
+  let pool =
+    match !current with
+    | Some p when Pool.domains p = jobs () -> p
+    | prev ->
+      (match prev with Some p -> Pool.shutdown p | None -> ());
+      let p = Pool.create ~domains:(jobs ()) in
+      current := Some p;
+      p
+  in
+  Mutex.unlock state_mutex;
+  pool
+
+(* Join the workers on exit so the process never terminates with live
+   domains blocked on the pool's condition variable. *)
+let () =
+  at_exit (fun () ->
+      Mutex.lock state_mutex;
+      let p = !current in
+      current := None;
+      Mutex.unlock state_mutex;
+      match p with Some p -> Pool.shutdown p | None -> ())
+
+let parallel_for ?chunk ~n body = Pool.parallel_for (default ()) ?chunk ~n body
+let parallel_map ?chunk ~n f = Pool.parallel_map (default ()) ?chunk ~n f

@@ -1,0 +1,71 @@
+(** A hand-rolled domain pool for the deconvolution pipeline's
+    embarrassingly parallel layers (Monte Carlo population simulation,
+    λ candidate sweeps, bootstrap/batch fan-out).
+
+    {b Determinism contract.} The pool never makes scheduling visible to
+    the caller: [parallel_for] partitions [0 .. n-1] into contiguous
+    chunks whose boundaries depend only on [n] and [chunk] — never on the
+    number of domains — and [parallel_map] writes each result into its own
+    slot. A caller that derives one [Rng.split] substream per chunk (in
+    ascending chunk order, before dispatch) therefore produces bit-for-bit
+    identical results for every jobs setting, including [--jobs 1], which
+    runs the same chunk schedule inline without spawning anything.
+
+    {b Nesting.} A [parallel_for]/[parallel_map] issued while the same
+    pool is already executing a job (from a worker domain, or reentrantly
+    from the submitting domain) falls back to running its chunks inline,
+    sequentially — no deadlock, same results.
+
+    {b Exceptions.} The first exception raised by any chunk cancels the
+    job's unclaimed chunks, is captured with its backtrace, and is
+    re-raised in the submitting domain once in-flight chunks have
+    drained. The pool stays healthy and reusable afterwards. *)
+
+module Pool : sig
+  type t
+
+  val create : domains:int -> t
+  (** [create ~domains] makes a pool that executes jobs on [domains]
+      domains in total: the submitting domain participates, and
+      [domains - 1] worker domains are spawned lazily on first use.
+      [domains = 1] never spawns and runs everything inline. Requires
+      [domains >= 1]. *)
+
+  val domains : t -> int
+
+  val shutdown : t -> unit
+  (** Join the worker domains (idempotent). Jobs submitted after a
+      shutdown run inline, sequentially. *)
+
+  val parallel_for : t -> ?chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+  (** [parallel_for pool ~chunk ~n body] runs [body ~lo ~hi] over
+      contiguous half-open chunks [\[lo, hi)] covering [0 .. n-1], each
+      chunk exactly once. [chunk] defaults to [max 1 (n / 64)] — a fixed
+      schedule independent of the pool size. Chunks may run in any order,
+      on any domain; [body] must only write to disjoint, per-index (or
+      per-chunk) state. *)
+
+  val parallel_map : t -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
+  (** [parallel_map pool ~n f] is [[| f 0; ...; f (n-1) |]] with the
+      applications distributed like {!parallel_for}. *)
+end
+
+val jobs : unit -> int
+(** The effective jobs setting for the global default pool: the last
+    {!set_jobs} value if any, else a positive integer [DECONV_JOBS]
+    environment variable, else [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** Override the default pool size ([--jobs]). Takes effect on the next
+    {!default} access (the previous default pool is shut down). Requires
+    [n >= 1]; must not be called while parallel work is in flight. *)
+
+val default : unit -> Pool.t
+(** The lazily-created global pool, sized by {!jobs}. Re-created on size
+    changes; its workers are joined automatically at process exit. *)
+
+val parallel_for : ?chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** {!Pool.parallel_for} on {!default}. *)
+
+val parallel_map : ?chunk:int -> n:int -> (int -> 'a) -> 'a array
+(** {!Pool.parallel_map} on {!default}. *)

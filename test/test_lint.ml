@@ -121,6 +121,30 @@ let test_r6_negative () =
   check_rules "ignoring a plain value is fine" [] ~path:"lib/scratch.ml"
     "let f x = ignore (succ x)"
 
+(* R8: raw concurrency primitives outside lib/parallel and lib/obs. *)
+
+let test_r8_positive () =
+  check_rules "Domain.spawn in library code" [ "R8" ] ~path:"lib/core/scratch.ml"
+    "let f g = Domain.spawn g";
+  check_rules "bare Domain.spawn reference" [ "R8" ] ~path:"lib/core/scratch.ml"
+    "let spawn = Domain.spawn";
+  check_rules "Mutex.create" [ "R8" ] ~path:"lib/core/scratch.ml" "let m = Mutex.create ()";
+  check_rules "Condition.wait" [ "R8" ] ~path:"lib/core/scratch.ml"
+    "let f c m = Condition.wait c m";
+  check_rules "R8 applies in bin too" [ "R8" ] ~path:"bin/scratch.ml"
+    "let m = Mutex.create ()"
+
+let test_r8_negative () =
+  check_rules "lib/parallel may spawn" [] ~path:"lib/parallel/scratch.ml"
+    "let f g = Domain.spawn g";
+  check_rules "lib/parallel may lock" [] ~path:"lib/parallel/scratch.ml"
+    "let m = Mutex.create ()";
+  check_rules "lib/obs may lock" [] ~path:"lib/obs/scratch.ml" "let m = Mutex.create ()";
+  check_rules "other Domain functions are fine" [] ~path:"lib/core/scratch.ml"
+    "let n = Domain.recommended_domain_count ()";
+  check_rules "the pool API is the sanctioned route" [] ~path:"lib/core/scratch.ml"
+    "let f body = Parallel.parallel_for ~n:8 body"
+
 (* Suppressions and R0. *)
 
 let test_suppression_trailing () =
@@ -239,6 +263,8 @@ let tests =
         case "r5 negative" test_r5_negative;
         case "r6 positive" test_r6_positive;
         case "r6 negative" test_r6_negative;
+        case "r8 positive" test_r8_positive;
+        case "r8 negative" test_r8_negative;
       ] );
     ( "lint-suppress",
       [

@@ -438,6 +438,62 @@ let test_pipeline_lambda_spans =
           (spans events))
     > 1)
 
+(* ---------------- concurrency ---------------- *)
+
+(* The metric registries and the export sink are mutex-guarded; concurrent
+   emission from pool workers must neither drop updates nor tear events,
+   and worker-domain root spans carry a "domain" attribute so traces from
+   a parallel section stay attributable. Concurrency comes from the pool
+   API — raw Domain.spawn is off limits outside lib/parallel (rule R8). *)
+let test_concurrent_emission =
+  with_clean_obs @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Obs.Metrics.enable ();
+  let n = 64 in
+  let pool = Parallel.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      Parallel.Pool.parallel_for pool ~chunk:1 ~n (fun ~lo ~hi:_ ->
+          Obs.Span.with_ "conc.task" (fun sp ->
+              Obs.Span.set_int sp "index" lo;
+              Obs.Metrics.incr "conc.tasks";
+              Obs.Metrics.observe "conc.index" (float_of_int lo))));
+  let task_spans =
+    List.filter (fun s -> String.equal s.Obs.Export.name "conc.task") (spans (recorded ()))
+  in
+  Alcotest.(check int) "one span per task, none dropped" n (List.length task_spans);
+  let ids = List.sort_uniq compare (List.map (fun s -> s.Obs.Export.id) task_spans) in
+  Alcotest.(check int) "span ids unique across domains" n (List.length ids);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) "task spans are roots" None s.Obs.Export.parent;
+      match List.assoc_opt "domain" s.Obs.Export.attrs with
+      | Some (Obs.Export.Int d) -> check_true "domain id non-negative" (d >= 0)
+      | Some _ -> Alcotest.fail "domain attribute must be an Int"
+      | None -> () (* chunks claimed by the submitting (main) domain are untagged *))
+    task_spans;
+  let field snap name =
+    match List.assoc_opt name snap.Obs.Metrics.fields with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s has no field %s" snap.Obs.Metrics.name name
+  in
+  let by_name name =
+    match
+      List.find_opt (fun s -> String.equal s.Obs.Metrics.name name) (Obs.Metrics.snapshot ())
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "no metric named %s" name
+  in
+  Alcotest.(check (float 0.0)) "no increment lost" (float_of_int n)
+    (field (by_name "conc.tasks") "value");
+  Alcotest.(check (float 0.0)) "no observation lost" (float_of_int n)
+    (field (by_name "conc.index") "count");
+  Alcotest.(check (float 0.0)) "observations intact"
+    (float_of_int (n * (n - 1) / 2))
+    (field (by_name "conc.index") "sum")
+
 let tests =
   [
     ( "obs-clock",
@@ -473,4 +529,5 @@ let tests =
         case "span hierarchy end to end" test_pipeline_span_hierarchy;
         case "lambda selection spans" test_pipeline_lambda_spans;
       ] );
+    ("obs-concurrency", [ case "concurrent emission" test_concurrent_emission ]);
   ]

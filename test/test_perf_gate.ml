@@ -6,7 +6,7 @@ open Numerics
 open Testutil
 
 let record ?(rev = "r1") ?(kind = Obs.Trajectory.Micro) ?(r2 = 0.99) ?(runs = 0)
-    ?(iters = Float.nan) name ns =
+    ?(iters = Float.nan) ?(domains = 1) name ns =
   {
     Obs.Trajectory.name;
     rev;
@@ -15,6 +15,7 @@ let record ?(rev = "r1") ?(kind = Obs.Trajectory.Micro) ?(r2 = 0.99) ?(runs = 0)
     r_square = r2;
     runs;
     iterations = iters;
+    domains;
   }
 
 let verdict_label = function
@@ -140,7 +141,7 @@ let test_trajectory_json_round_trip () =
   let t =
     List.fold_left Obs.Trajectory.append Obs.Trajectory.empty
       [
-        record "a" 123.456 ~rev:"abc" ~r2:0.97 ~runs:3 ~iters:42.0;
+        record "a" 123.456 ~rev:"abc" ~r2:0.97 ~runs:3 ~iters:42.0 ~domains:4;
         record "b" 1e9 ~kind:Obs.Trajectory.Macro ~r2:Float.nan;
       ]
   in
@@ -157,6 +158,7 @@ let test_trajectory_json_round_trip () =
           (Obs.Trajectory.kind_name b.kind);
         Alcotest.(check (float 0.0)) "ns" a.ns_per_run b.ns_per_run;
         Alcotest.(check int) "runs" a.runs b.runs;
+        Alcotest.(check int) "domains" a.domains b.domains;
         check_true "r_square matches (nan == nan)"
           (Float.equal a.r_square b.r_square
           || (Float.is_nan a.r_square && Float.is_nan b.r_square)))
@@ -173,7 +175,8 @@ let test_trajectory_loads_legacy_format () =
     | [ r ] ->
       Alcotest.(check string) "name" "k" r.Obs.Trajectory.name;
       Alcotest.(check string) "rev defaults" "unknown" r.Obs.Trajectory.rev;
-      Alcotest.(check (float 0.0)) "ns" 42.0 r.Obs.Trajectory.ns_per_run
+      Alcotest.(check (float 0.0)) "ns" 42.0 r.Obs.Trajectory.ns_per_run;
+      Alcotest.(check int) "domains default to 1" 1 r.Obs.Trajectory.domains
     | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs))
 
 let test_trajectory_missing_file_is_empty () =
