@@ -1374,6 +1374,39 @@ let micro () =
                    acc := !acc +. float_of_int i
                  done;
                  ignore !acc)));
+      (* The fault-isolation wrapper's overhead on top of parallel_map:
+         same schedule, every slot wrapped in a per-index capture. *)
+      Test.make ~name:"parallel_map_result_overhead"
+        (Staged.stage (fun () ->
+             let (_ : (float, exn) result array) =
+               Parallel.parallel_map_result ~chunk:64 ~n:1024 float_of_int
+             in
+             ()));
+      (* Checkpoint journal entry: hex-float serialize + parse round-trip,
+         the per-gene cost of --checkpoint/--resume beyond the solve. *)
+      Test.make ~name:"checkpoint_entry_roundtrip"
+        (Staged.stage
+           (let entry =
+              {
+                Deconv.Checkpoint.gene = 0;
+                key = "0123456789abcdef";
+                outcome =
+                  Ok
+                    {
+                      Deconv.Solver.alpha = Array.init 12 (fun i -> sin (float_of_int i));
+                      profile = Array.init 101 (fun i -> cos (float_of_int i));
+                      fitted = Array.init 13 float_of_int;
+                      lambda = 1.234e-4;
+                      cost = 0.5678;
+                      data_misfit = 0.1234;
+                      roughness = 42.0;
+                      active_positivity = 3;
+                      qp_iterations = 17;
+                    };
+              }
+            in
+            fun () ->
+              ignore (Deconv.Checkpoint.entry_of_line (Deconv.Checkpoint.entry_json entry))));
     ]
   in
   ignore (Parallel.default ());

@@ -35,6 +35,7 @@ let () =
           | Analysis.Rules.Lib_only -> "lib/ only"
           | Analysis.Rules.Except_obs -> "everywhere except lib/obs/"
           | Analysis.Rules.Except_concurrency -> "everywhere except lib/parallel/ and lib/obs/"
+          | Analysis.Rules.Except_atomic -> "lib/ only, except lib/dataio/atomic_file.ml"
         in
         Printf.printf "%s (%s; %s)\n    %s\n" r.Analysis.Rules.id r.Analysis.Rules.title
           scope r.Analysis.Rules.description)

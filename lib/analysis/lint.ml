@@ -43,6 +43,15 @@ let in_parallel path =
   | _file :: dir :: _ -> String.equal dir "parallel"
   | _ -> false
 
+(* The atomic writer: the one library module allowed to open a raw output
+   channel (rule R9's exemption). *)
+let is_atomic_file path =
+  in_lib path
+  &&
+  match List.rev (segments path) with
+  | file :: dir :: _ -> String.equal file "atomic_file.ml" && String.equal dir "dataio"
+  | _ -> false
+
 (* ---------------- rule implementations ---------------- *)
 
 (* The paper constants of rule R4: phi_sst ~ N(0.15, (0.13*0.15)^2), the
@@ -175,6 +184,7 @@ type ctx = {
   params : bool;
   obs : bool;  (* under lib/obs/: exempt from R7 *)
   conc : bool;  (* under lib/parallel/ or lib/obs/: exempt from R8 *)
+  atomic : bool;  (* lib/dataio/atomic_file.ml: exempt from R9 *)
   mutable in_data : bool;  (* inside an array/list literal (data table) *)
   mutable acc : Finding.t list;
 }
@@ -327,6 +337,37 @@ let check_r8 ctx e =
            owns its output slots); shared-sink guards belong in lib/obs"
     | _ -> ()
 
+(* R9: raw output channels in library code outside the atomic writer. Like
+   R7/R8, flag the identifier itself so partial applications and bare
+   references are caught. *)
+let r9_out_channel_fns =
+  [ "open_bin"; "open_text"; "open_gen"; "with_open_bin"; "with_open_text"; "with_open_gen" ]
+
+let check_r9 ctx e =
+  if ctx.lib && not ctx.atomic then
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident (("open_out" | "open_out_bin" | "open_out_gen") as fn); _ }
+    | Pexp_ident
+        { txt = Ldot (Lident "Stdlib", (("open_out" | "open_out_bin" | "open_out_gen") as fn));
+          _ } ->
+      report ctx ~loc:e.pexp_loc ~rule:"R9"
+        ~message:
+          (Printf.sprintf
+             "'%s' truncates the destination before writing: a crash mid-write leaves a \
+              torn file"
+             fn)
+        ~hint:
+          "write final paths through Dataio.Atomic_file.write (temp file + fsync + rename)"
+    | Pexp_ident { txt = Ldot (Lident "Out_channel", fn); _ }
+      when List.exists (String.equal fn) r9_out_channel_fns ->
+      report ctx ~loc:e.pexp_loc ~rule:"R9"
+        ~message:
+          (Printf.sprintf
+             "Out_channel.%s opens a raw output channel on a final path from library code" fn)
+        ~hint:
+          "write final paths through Dataio.Atomic_file.write (temp file + fsync + rename)"
+    | _ -> ()
+
 let check_r6 ctx f args =
   let is_ignore e =
     match ident_of e with
@@ -369,6 +410,7 @@ let make_iterator ctx =
     check_r5_ident ctx e;
     check_r7 ctx e;
     check_r8 ctx e;
+    check_r9 ctx e;
     match e.pexp_desc with
     | Pexp_array _ | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
       let saved = ctx.in_data in
@@ -410,6 +452,7 @@ let walk_source ~path source =
           params = is_params_file path;
           obs = in_obs path;
           conc = in_obs path || in_parallel path;
+          atomic = is_atomic_file path;
           in_data = false;
           acc = [];
         }

@@ -1,4 +1,4 @@
-type scope = Everywhere | Lib_only | Except_obs | Except_concurrency
+type scope = Everywhere | Lib_only | Except_obs | Except_concurrency | Except_atomic
 
 type t = { id : string; title : string; scope : scope; description : string }
 
@@ -103,6 +103,20 @@ let all =
          out through Parallel.parallel_for / parallel_map; only the pool \
          implementation (lib/parallel) and the observability layer's guards \
          (lib/obs) may touch the raw primitives.";
+    };
+    {
+      id = "R9";
+      title = "raw output channel on a final path outside the atomic writer";
+      scope = Except_atomic;
+      description =
+        "open_out / open_out_bin / open_out_gen (or Out_channel.open_* / \
+         with_open_*) in library code outside lib/dataio/atomic_file.ml. A raw \
+         open truncates the destination immediately, so a crash mid-write \
+         leaves a torn file — fatal for the checkpoint journal, kernel dumps \
+         and trajectory records that --resume and the bench gate re-read. \
+         Route final-path writes through Dataio.Atomic_file.write (same-dir \
+         temp file + fsync + rename); only the atomic writer itself may open \
+         an output channel.";
     };
   ]
 

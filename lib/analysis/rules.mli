@@ -1,6 +1,6 @@
 (** The registry of numerical-safety rules enforced by deconv-lint.
 
-    Rule ids are stable strings ("R0".."R8") used in findings, in
+    Rule ids are stable strings ("R0".."R9") used in findings, in
     [--disable] flags and in suppression comments. *)
 
 type scope =
@@ -9,6 +9,9 @@ type scope =
   | Except_obs  (** enforced everywhere except under [lib/obs/] *)
   | Except_concurrency
       (** enforced everywhere except under [lib/parallel/] and [lib/obs/] *)
+  | Except_atomic
+      (** enforced under [lib/] except [lib/dataio/atomic_file.ml], the one
+          module allowed to open raw output channels *)
 
 type t = {
   id : string;

@@ -90,10 +90,7 @@ let integrate_profile k f =
 let magic = "deconv-kernel-v1"
 
 let save k ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Dataio.Atomic_file.write path (fun oc ->
       let n_phi = Array.length k.phases and n_t = Array.length k.times in
       Printf.fprintf oc "%s,%d,%d,%.17g\n" magic n_phi n_t k.bin_width;
       let row_of label values =

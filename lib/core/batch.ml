@@ -27,16 +27,198 @@ let solve_gene t ?sigmas ?(lambda = `Gcv) ~measurements () =
   in
   Solver.solve ~lambda problem
 
-let solve_all t ?sigmas ?lambda ~measurements () =
+(* ---------------- fault-isolated batch ---------------- *)
+
+let hex = Printf.sprintf "%h"
+
+let gene_key t ?sigmas ~lambda ~measurements () =
+  let k = t.kernel in
+  let b = t.basis in
+  let p = t.params in
+  let flag v = if v then "1" else "0" in
+  Checkpoint.key_of_parts
+    [
+      "kernel";
+      Checkpoint.vec_part k.Cellpop.Kernel.phases;
+      hex k.Cellpop.Kernel.bin_width;
+      Checkpoint.vec_part k.Cellpop.Kernel.times;
+      Checkpoint.mat_part k.Cellpop.Kernel.q;
+      "basis";
+      b.Spline.Basis.name;
+      string_of_int b.Spline.Basis.size;
+      hex b.Spline.Basis.lo;
+      hex b.Spline.Basis.hi;
+      "params";
+      hex p.Cellpop.Params.mu_sst;
+      hex p.Cellpop.Params.cv_sst;
+      hex p.Cellpop.Params.mean_cycle_minutes;
+      hex p.Cellpop.Params.cv_cycle;
+      hex p.Cellpop.Params.v0;
+      (match p.Cellpop.Params.volume_model with
+      | Cellpop.Params.Linear -> "linear"
+      | Cellpop.Params.Smooth -> "smooth");
+      (match p.Cellpop.Params.initial_condition with
+      | Cellpop.Params.Synchronized_swarmer -> "swarmer"
+      | Cellpop.Params.Uniform_phase -> "uniform");
+      "constraints";
+      flag t.use_positivity ^ flag t.use_conservation ^ flag t.use_rate_continuity;
+      "lambda";
+      (match lambda with `Gcv -> "gcv" | `Fixed l -> "fixed:" ^ hex l);
+      "gene";
+      Checkpoint.vec_part measurements;
+      "sigmas";
+      (match sigmas with None -> "none" | Some s -> Checkpoint.vec_part s);
+    ]
+
+let solve_gene_result t ?sigmas ?(lambda = `Gcv) ?budget ~measurements () =
+  match
+    let problem = problem_for t ?sigmas measurements in
+    match Problem.validate problem with
+    | Error e -> Error e
+    | Ok () -> (
+      match
+        match lambda with
+        | `Fixed l ->
+          if Float.is_finite l && l >= 0.0 then Ok l
+          else
+            Error
+              (Robust.Error.Invalid_input
+                 { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" l })
+        | `Gcv -> Lambda.select_result problem ~method_:`Gcv ()
+      with
+      | Error e -> Error e
+      | Ok lam ->
+        let est = Solver.solve ?budget ~lambda:lam problem in
+        if Solver.finite_estimate est then Ok est
+        else Error (Robust.Error.Non_finite { stage = "constrained QP solution" }))
+  with
+  | r -> r
+  | exception Robust.Error.Error e -> Error e
+  (* lint: allow R2 -- this is the per-gene fault-isolation boundary: the
+     exception becomes a typed, journaled outcome instead of killing the
+     batch *)
+  | exception e -> Error (Robust.Error.of_exn e)
+
+module Outcome = struct
+  type t = {
+    outcomes : (Solver.estimate, Robust.Error.t) result array;
+    replayed : int;
+  }
+
+  let total t = Array.length t.outcomes
+
+  let ok_count t =
+    Array.fold_left (fun n -> function Ok _ -> n + 1 | Error _ -> n) 0 t.outcomes
+
+  let failed_count t = total t - ok_count t
+  let fully_ok t = failed_count t = 0
+
+  let failures t =
+    let acc = ref [] in
+    Array.iteri
+      (fun g -> function Ok _ -> () | Error e -> acc := (g, e) :: !acc)
+      t.outcomes;
+    List.rev !acc
+
+  let class_counts t =
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (_, e) ->
+        let cls = Robust.Error.class_name e in
+        Hashtbl.replace tally cls (1 + Option.value ~default:0 (Hashtbl.find_opt tally cls)))
+      (failures t);
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) tally [])
+
+  let estimates t =
+    Array.map (function Ok est -> est | Error e -> Robust.Error.raise_error e) t.outcomes
+end
+
+let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?journal
+    ?(block = 64) ?on_block ~measurements () =
+  if block < 1 then invalid_arg "Batch.solve_all_result: block must be >= 1";
   let genes, _ = Mat.dims measurements in
-  (* Whole solves fan out per gene; a gene's inner λ sweep then finds the
-     pool busy and runs inline (Parallel's nested fallback), which is the
-     right granularity — genes outnumber domains long before candidates
-     do. GCV is deterministic, so per-gene results do not depend on the
-     fan-out. *)
-  Parallel.parallel_map ~chunk:1 ~n:genes (fun g ->
-      let sigma_row = Option.map (fun s -> Mat.row s g) sigmas in
-      solve_gene t ?sigmas:sigma_row ?lambda ~measurements:(Mat.row measurements g) ())
+  let sigma_row g = Option.map (fun s -> Mat.row s g) sigmas in
+  let keys =
+    match journal with
+    | None -> [||]
+    | Some _ ->
+      Array.init genes (fun g ->
+          gene_key t ?sigmas:(sigma_row g) ~lambda ~measurements:(Mat.row measurements g) ())
+  in
+  let outcomes = Array.make genes None in
+  let replayed = ref 0 in
+  (match journal with
+  | Some j ->
+    let entries = Checkpoint.entries j in
+    for g = 0 to genes - 1 do
+      match Checkpoint.find entries ~gene:g ~key:keys.(g) with
+      | Some e ->
+        outcomes.(g) <- Some e.Checkpoint.outcome;
+        incr replayed
+      | None -> ()
+    done
+  | None -> ());
+  let pending =
+    Array.of_list
+      (List.filter (fun g -> outcomes.(g) = None) (List.init genes (fun g -> g)))
+  in
+  let done_ = ref !replayed in
+  let pos = ref 0 in
+  while !pos < Array.length pending do
+    let hi = Stdlib.min (Array.length pending) (!pos + block) in
+    let idx = Array.sub pending !pos (hi - !pos) in
+    (* Whole solves fan out per gene; a gene's inner λ sweep then finds
+       the pool busy and runs inline (Parallel's nested fallback), which
+       is the right granularity — genes outnumber domains long before
+       candidates do. GCV is deterministic and genes are independent, so
+       per-gene results depend on neither the fan-out nor the block
+       boundaries. *)
+    let results =
+      Parallel.parallel_map_result ~chunk:1 ~n:(Array.length idx) (fun j ->
+          let g = idx.(j) in
+          let budget =
+            if max_seconds = None && max_iterations = None then None
+            else Some (Robust.Budget.create ?max_seconds ?max_iterations ())
+          in
+          solve_gene_result t ?sigmas:(sigma_row g) ~lambda ?budget
+            ~measurements:(Mat.row measurements g) ())
+    in
+    let fresh = ref [] in
+    Array.iteri
+      (fun j res ->
+        let g = idx.(j) in
+        let outcome =
+          match res with Ok o -> o | Error exn -> Error (Robust.Error.of_exn exn)
+        in
+        outcomes.(g) <- Some outcome;
+        if Option.is_some journal then
+          fresh := { Checkpoint.gene = g; key = keys.(g); outcome } :: !fresh)
+      results;
+    (match journal with Some j -> Checkpoint.append j (List.rev !fresh) | None -> ());
+    done_ := !done_ + Array.length idx;
+    (match on_block with Some f -> f ~done_:!done_ ~total:genes | None -> ());
+    pos := hi
+  done;
+  let outcome =
+    {
+      Outcome.outcomes =
+        Array.map (function Some o -> o | None -> assert false) outcomes;
+      replayed = !replayed;
+    }
+  in
+  Obs.Metrics.incr ~by:(float_of_int (Outcome.ok_count outcome)) "batch.genes_ok";
+  Obs.Metrics.incr ~by:(float_of_int (Outcome.failed_count outcome)) "batch.genes_failed";
+  Obs.Metrics.incr ~by:(float_of_int !replayed) "batch.genes_replayed";
+  List.iter
+    (fun (cls, n) ->
+      Obs.Metrics.incr ~by:(float_of_int n) ("batch.failures." ^ cls))
+    (Outcome.class_counts outcome);
+  outcome
+
+let solve_all t ?sigmas ?lambda ~measurements () =
+  Outcome.estimates (solve_all_result t ?sigmas ?lambda ~measurements ())
 
 let phases t = Array.copy t.kernel.Cellpop.Kernel.phases
 

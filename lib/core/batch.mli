@@ -34,7 +34,92 @@ val solve_all :
   measurements:Mat.t ->
   unit ->
   Solver.estimate array
-(** Rows of [measurements] (and [sigmas]) are genes. *)
+(** Rows of [measurements] (and [sigmas]) are genes. Implemented over
+    {!solve_all_result}: on any per-gene failure, raises
+    {!Robust.Error.Error} for the failing gene of {e lowest index}
+    (deterministic, unlike the old first-exception-wins cancellation). *)
+
+(** {1 Fault-isolated batch} *)
+
+val solve_gene_result :
+  t ->
+  ?sigmas:Vec.t ->
+  ?lambda:[ `Fixed of float | `Gcv ] ->
+  ?budget:Robust.Budget.t ->
+  measurements:Vec.t ->
+  unit ->
+  (Solver.estimate, Robust.Error.t) result
+(** Total per-gene solve: validates the problem, selects λ, solves, and
+    checks finiteness — any failure (including an arbitrary exception,
+    via {!Robust.Error.of_exn}) becomes a typed [Error] instead of a
+    raise. On a clean gene the estimate is bit-for-bit identical to
+    {!solve_gene}'s. *)
+
+(** Aggregate report of a fault-isolated batch. *)
+module Outcome : sig
+  type t = {
+    outcomes : (Solver.estimate, Robust.Error.t) result array;
+        (** per gene, in row order *)
+    replayed : int;  (** genes restored from the checkpoint journal *)
+  }
+
+  val total : t -> int
+  val ok_count : t -> int
+  val failed_count : t -> int
+  val fully_ok : t -> bool
+
+  val failures : t -> (int * Robust.Error.t) list
+  (** Failing genes in ascending index order. *)
+
+  val class_counts : t -> (string * int) list
+  (** Failure counts per {!Robust.Error.class_name}, sorted by class. *)
+
+  val estimates : t -> Solver.estimate array
+  (** All estimates; raises {!Robust.Error.Error} for the lowest-index
+      failure if any gene failed. *)
+end
+
+val gene_key :
+  t ->
+  ?sigmas:Vec.t ->
+  lambda:[ `Fixed of float | `Gcv ] ->
+  measurements:Vec.t ->
+  unit ->
+  string
+(** The checkpoint content key for one gene: an FNV-1a 64 hash over the
+    kernel (phases, times, Q), basis, population parameters, constraint
+    flags, λ policy and the gene's data — everything that determines the
+    solve's result. *)
+
+val solve_all_result :
+  t ->
+  ?sigmas:Mat.t ->
+  ?lambda:[ `Fixed of float | `Gcv ] ->
+  ?max_seconds:float ->
+  ?max_iterations:int ->
+  ?journal:Checkpoint.t ->
+  ?block:int ->
+  ?on_block:(done_:int -> total:int -> unit) ->
+  measurements:Mat.t ->
+  unit ->
+  Outcome.t
+(** Survivable batch: every gene is attempted (fault isolation via
+    {!Parallel.parallel_map_result}), failures are contained as typed
+    outcomes, and per-class counts are published to {!Obs.Metrics}
+    ([batch.genes_ok], [batch.genes_failed], [batch.genes_replayed],
+    [batch.failures.<class>]).
+
+    [max_seconds]/[max_iterations] cap each gene's solve with a fresh
+    {!Robust.Budget} (omitted = unlimited; no budget object is created
+    then, so results are bit-identical to the uncapped path).
+
+    [journal] enables checkpointing: genes whose [(index, key)] already
+    appear in the journal are replayed verbatim (bit-for-bit, thanks to
+    hex-float serialization) and the rest are solved in blocks of
+    [block] genes (default 64), with one atomic, fsync'd journal flush
+    per block. [on_block ~done_ ~total] fires after each flush — the
+    chaos harness's mid-batch crash hook; an exception it raises
+    propagates (it is deliberately {e not} isolated). *)
 
 val phases : t -> Vec.t
 

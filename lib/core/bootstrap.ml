@@ -49,6 +49,73 @@ let residual ?(replicates = 200) ?(level = 0.9) problem (estimate : Solver.estim
     replicates = profiles;
   }
 
+type outcome = {
+  bands : bands option;
+  failures : (int * Robust.Error.t) list;
+  attempted : int;
+}
+
+let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterations problem
+    (estimate : Solver.estimate) ~rng =
+  assert (replicates >= 10);
+  assert (level > 0.0 && level < 1.0);
+  let g = problem.Problem.measurements in
+  let fitted = estimate.Solver.fitted in
+  let sigmas = problem.Problem.sigmas in
+  let n_m = Array.length g in
+  let standardized = Array.init n_m (fun m -> (g.(m) -. fitted.(m)) /. sigmas.(m)) in
+  let n_phi = Array.length estimate.Solver.profile in
+  (* Substreams derived exactly like [residual]'s, so the draws — and
+     therefore every successful replicate's profile — are bit-identical
+     to the all-or-nothing path. *)
+  let rngs = Array.make replicates rng in
+  for b = 0 to replicates - 1 do
+    rngs.(b) <- Rng.split rng
+  done;
+  let results =
+    Parallel.parallel_map_result ~n:replicates (fun b ->
+        let brng = rngs.(b) in
+        let resampled = Array.make n_m 0.0 in
+        for m = 0 to n_m - 1 do
+          resampled.(m) <- fitted.(m) +. (sigmas.(m) *. Rng.pick brng standardized)
+        done;
+        let problem_b = { problem with Problem.measurements = resampled } in
+        let budget =
+          if max_seconds = None && max_iterations = None then None
+          else Some (Robust.Budget.create ?max_seconds ?max_iterations ())
+        in
+        let estimate_b = Solver.solve ?budget ~lambda:estimate.Solver.lambda problem_b in
+        if Solver.finite_estimate estimate_b then estimate_b.Solver.profile
+        else Robust.Error.raise_error (Robust.Error.Non_finite { stage = "bootstrap replicate" }))
+  in
+  let failures = ref [] in
+  let ok = ref [] in
+  Array.iteri
+    (fun b -> function
+      | Ok profile -> ok := profile :: !ok
+      | Error exn -> failures := (b, Robust.Error.of_exn exn) :: !failures)
+    results;
+  let failures = List.rev !failures in
+  let profiles_ok = Array.of_list (List.rev !ok) in
+  let bands =
+    if Array.length profiles_ok = 0 then None
+    else begin
+      let profiles = Mat.of_rows profiles_ok in
+      let alpha = (1.0 -. level) /. 2.0 in
+      let percentile q = Array.init n_phi (fun j -> Stats.quantile (Mat.col profiles j) q) in
+      Some
+        {
+          level;
+          lower = percentile alpha;
+          median = percentile 0.5;
+          upper = percentile (1.0 -. alpha);
+          replicates = profiles;
+        }
+    end
+  in
+  Obs.Metrics.incr ~by:(float_of_int (List.length failures)) "bootstrap.replicates_failed";
+  { bands; failures; attempted = replicates }
+
 let width bands = Vec.sub bands.upper bands.lower
 
 let coverage bands ~truth =

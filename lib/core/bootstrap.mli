@@ -31,6 +31,32 @@ val residual :
     λ, and take per-phase percentiles of the resulting profiles (defaults:
     200 replicates, level 0.9). *)
 
+type outcome = {
+  bands : bands option;  (** [None] only if every replicate failed *)
+  failures : (int * Robust.Error.t) list;
+      (** failed replicate indices (ascending) with their typed errors *)
+  attempted : int;
+}
+
+val residual_result :
+  ?replicates:int ->
+  ?level:float ->
+  ?max_seconds:float ->
+  ?max_iterations:int ->
+  Problem.t ->
+  Solver.estimate ->
+  rng:Rng.t ->
+  outcome
+(** Fault-isolated {!residual}: each replicate solves independently via
+    {!Parallel.parallel_map_result}; a failing replicate is recorded
+    instead of aborting the job, and the bands are computed over the
+    successful replicates (their rows, in replicate order). RNG
+    substreams are derived exactly as in {!residual}, so every successful
+    replicate's profile is bit-identical to the all-or-nothing path.
+    [max_seconds]/[max_iterations] give each replicate a fresh
+    {!Robust.Budget}. Failed-replicate counts are published as the
+    [bootstrap.replicates_failed] metric. *)
+
 val width : bands -> Vec.t
 (** Upper − lower band width per phase point. *)
 

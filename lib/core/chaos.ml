@@ -1,0 +1,218 @@
+open Numerics
+
+type config = {
+  genes : int;
+  faults : int;
+  seed : int;
+  jobs : int list;
+  block : int;
+  crash_after : int;
+  n_cells : int;
+  n_phi : int;
+  n_times : int;
+}
+
+let default_config =
+  {
+    genes = 200;
+    faults = 10;
+    seed = 1106;
+    jobs = [ 1; 2; 4 ];
+    block = 16;
+    crash_after = 0 (* 0 = halfway *);
+    n_cells = 400;
+    n_phi = 41;
+    n_times = 9;
+  }
+
+type report = {
+  config : config;
+  faulty_rows : int array;
+  class_counts : (string * int) list;
+  journaled_errors : int;
+  replayed : int;
+  violations : string list;
+}
+
+let passed r = r.violations = []
+
+(* ---------------- fixture ---------------- *)
+
+let fixture cfg =
+  let params = Cellpop.Params.paper_2011 in
+  let rng = Rng.create cfg.seed in
+  let times = Array.init cfg.n_times (fun i -> 20.0 *. float_of_int i) in
+  let kernel =
+    Cellpop.Kernel.estimate ~smooth_window:5 params ~rng ~n_cells:cfg.n_cells ~times
+      ~n_phi:cfg.n_phi
+  in
+  let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:10 in
+  let batch = Batch.prepare ~kernel ~basis ~params () in
+  let grng = Rng.split rng in
+  let measurements =
+    Mat.of_rows
+      (Array.init cfg.genes (fun _ ->
+           (* lint: allow R4 — 0.15 here bounds the synthetic pulse shapes,
+              not the paper's phi_sst mean *)
+           let center = Rng.uniform grng ~lo:0.15 ~hi:0.85 in
+           (* lint: allow R4 — same: a pulse-width bound, not phi_sst *)
+           let width = Rng.uniform grng ~lo:0.08 ~hi:0.15 in
+           let height = Rng.uniform grng ~lo:1.0 ~hi:4.0 in
+           let profile = Biomodels.Gene_profile.gaussian_pulse ~center ~width ~height () in
+           Forward.apply_fn kernel profile))
+  in
+  (batch, measurements)
+
+(* ---------------- bitwise comparison ---------------- *)
+
+let bits_vec_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x -> if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+let bits_estimate_equal (a : Solver.estimate) (b : Solver.estimate) =
+  bits_vec_equal a.Solver.alpha b.Solver.alpha
+  && bits_vec_equal a.Solver.profile b.Solver.profile
+  && bits_vec_equal a.Solver.fitted b.Solver.fitted
+  && Int64.bits_of_float a.Solver.lambda = Int64.bits_of_float b.Solver.lambda
+  && Int64.bits_of_float a.Solver.cost = Int64.bits_of_float b.Solver.cost
+
+let bits_outcome_equal a b =
+  match (a, b) with
+  | Ok x, Ok y -> bits_estimate_equal x y
+  | Error x, Error y -> Robust.Error.equal x y
+  | _ -> false
+
+let with_jobs n f =
+  let prev = Parallel.jobs () in
+  Parallel.set_jobs n;
+  let finally () = Parallel.set_jobs prev in
+  Fun.protect ~finally f
+
+(* ---------------- the harness ---------------- *)
+
+let run ?(config = default_config) ~journal_path () =
+  let cfg = config in
+  if cfg.faults > cfg.genes then invalid_arg "Chaos.run: faults must be <= genes";
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let batch, clean_measurements = fixture cfg in
+  (* Injected faults: the first half of the chosen rows get a NaN
+     measurement entry, the rest get a poisoned (zero) sigma row — both
+     members of the Robust.Error taxonomy a real microarray produces. *)
+  let frng = Rng.create (cfg.seed + 1) in
+  let rows = Robust.Fault.choose_rows frng ~k:cfg.faults ~rows:cfg.genes in
+  let nan_rows = Array.sub rows 0 (Array.length rows / 2) in
+  let sigma_rows = Array.sub rows (Array.length rows / 2) (Array.length rows - (Array.length rows / 2)) in
+  let measurements =
+    Robust.Fault.apply
+      (Robust.Fault.corrupt_rows ~rows:nan_rows (Robust.Fault.nan_at ()))
+      frng clean_measurements
+  in
+  let genes, n_m = Mat.dims clean_measurements in
+  let sigmas =
+    Robust.Fault.apply
+      (Robust.Fault.poison_sigma_rows ~rows:sigma_rows)
+      frng
+      (Mat.of_rows (Array.init genes (fun _ -> Vec.ones n_m)))
+  in
+  let faulty = Array.to_list rows in
+  (* Reference: the fault-free run, single-domain. *)
+  let reference =
+    with_jobs 1 (fun () -> Batch.solve_all_result batch ~lambda:`Gcv ~measurements:clean_measurements ())
+  in
+  (match Batch.Outcome.failures reference with
+  | [] -> ()
+  | (g, e) :: _ ->
+    violate "fault-free reference run failed at gene %d: %s" g (Robust.Error.to_string e));
+  (* Invariant 1+2: under faults, the batch completes with exactly the
+     injected genes failing, and clean genes bit-identical to the
+     reference — at every jobs setting. *)
+  let chaos_at jobs =
+    with_jobs jobs (fun () ->
+        Batch.solve_all_result batch ~sigmas ~lambda:`Gcv ~measurements ())
+  in
+  let chaos_ref = chaos_at (match cfg.jobs with j :: _ -> j | [] -> 1) in
+  List.iter
+    (fun jobs ->
+      let outcome = chaos_at jobs in
+      let failed = List.map fst (Batch.Outcome.failures outcome) in
+      if failed <> faulty then
+        violate "jobs=%d: failed genes [%s] do not match injected faults [%s]" jobs
+          (String.concat "," (List.map string_of_int failed))
+          (String.concat "," (List.map string_of_int faulty));
+      Array.iteri
+        (fun g out ->
+          match (out, reference.Batch.Outcome.outcomes.(g)) with
+          | Ok est, Ok ref_est when not (List.mem g faulty) ->
+            if not (bits_estimate_equal est ref_est) then
+              violate "jobs=%d: clean gene %d differs bitwise from fault-free run" jobs g
+          | Error e, _ when not (List.mem g faulty) ->
+            violate "jobs=%d: clean gene %d failed: %s" jobs g (Robust.Error.to_string e)
+          | _ -> ())
+        outcome.Batch.Outcome.outcomes)
+    cfg.jobs;
+  (* Invariant 3: crash mid-batch, then resume; the journal must hold only
+     complete blocks, and the resumed run must reproduce the uninterrupted
+     outcomes bit-for-bit while replaying (not re-solving) journaled
+     genes. *)
+  let crash_point = if cfg.crash_after > 0 then cfg.crash_after else cfg.genes / 2 in
+  let journal = Checkpoint.create ~path:journal_path in
+  (match
+     with_jobs 1 (fun () ->
+         Batch.solve_all_result batch ~sigmas ~lambda:`Gcv ~journal ~block:cfg.block
+           ~on_block:(Robust.Fault.crash_after ~genes:crash_point)
+           ~measurements ())
+   with
+  | (_ : Batch.Outcome.t) ->
+    violate "injected crash after %d genes never fired (%d genes, block %d)" crash_point
+      cfg.genes cfg.block
+  | exception Robust.Fault.Injected_crash _ -> ());
+  let resumed =
+    match Checkpoint.resume ~path:journal_path with
+    | Error msg ->
+      violate "journal unreadable after crash: %s" msg;
+      with_jobs 1 (fun () ->
+          Batch.solve_all_result batch ~sigmas ~lambda:`Gcv ~measurements ())
+    | Ok journal ->
+      let before = List.length (Checkpoint.entries journal) in
+      if before < crash_point then
+        violate "journal holds %d entries, expected at least the %d pre-crash genes" before
+          crash_point;
+      with_jobs 1 (fun () ->
+          Batch.solve_all_result batch ~sigmas ~lambda:`Gcv ~journal ~block:cfg.block
+            ~measurements ())
+  in
+  if resumed.Batch.Outcome.replayed = 0 then
+    violate "resume replayed no journaled genes";
+  Array.iteri
+    (fun g out ->
+      if not (bits_outcome_equal out chaos_ref.Batch.Outcome.outcomes.(g)) then
+        violate "resumed gene %d differs from the uninterrupted run" g)
+    resumed.Batch.Outcome.outcomes;
+  (* The journal must now hold exactly one entry per gene, with exactly
+     [faults] journaled errors. *)
+  let journaled_errors =
+    match Checkpoint.load ~path:journal_path with
+    | Error msg ->
+      violate "final journal unreadable: %s" msg;
+      0
+    | Ok entries ->
+      if List.length entries <> cfg.genes then
+        violate "final journal holds %d entries for %d genes" (List.length entries) cfg.genes;
+      List.length
+        (List.filter (fun e -> Result.is_error e.Checkpoint.outcome) entries)
+  in
+  if journaled_errors <> cfg.faults then
+    violate "journal records %d errors, expected exactly %d" journaled_errors cfg.faults;
+  {
+    config = cfg;
+    faulty_rows = rows;
+    class_counts = Batch.Outcome.class_counts chaos_ref;
+    journaled_errors;
+    replayed = resumed.Batch.Outcome.replayed;
+    violations = List.rev !violations;
+  }

@@ -1,0 +1,47 @@
+(** Chaos harness for the survivable genome-scale batch: build a synthetic
+    many-gene experiment, inject per-gene faults (NaN measurement entries,
+    poisoned sigma rows) plus a mid-batch crash, and check the isolation
+    invariants the resilience layer promises:
+
+    {ol
+     {- the batch completes with {e exactly} the injected genes failing,
+        each with a typed journaled {!Robust.Error.t};}
+     {- every clean gene's estimate is [Int64.bits_of_float]-identical to
+        the fault-free run, at every jobs setting under test;}
+     {- after an injected crash at a block boundary, [--resume] replays
+        the journal and reproduces the uninterrupted outcomes
+        bit-for-bit.}}
+
+    The harness never prints (rule R5): violations come back as strings in
+    the {!report} for the CLI to render. *)
+
+type config = {
+  genes : int;
+  faults : int;  (** injected faulty gene rows (must be <= genes) *)
+  seed : int;
+  jobs : int list;  (** jobs settings the determinism invariant sweeps *)
+  block : int;  (** journal flush granularity for the crash/resume leg *)
+  crash_after : int;  (** crash once this many genes completed; 0 = genes/2 *)
+  n_cells : int;  (** Monte-Carlo size of the fixture kernel *)
+  n_phi : int;
+  n_times : int;
+}
+
+val default_config : config
+(** The acceptance-criterion scenario: 200 genes, 10 faults, jobs 1/2/4,
+    blocks of 16, crash halfway. *)
+
+type report = {
+  config : config;
+  faulty_rows : int array;  (** injected rows, ascending *)
+  class_counts : (string * int) list;  (** failures per error class *)
+  journaled_errors : int;  (** error entries in the final journal *)
+  replayed : int;  (** genes the resumed run restored from the journal *)
+  violations : string list;  (** empty iff every invariant held *)
+}
+
+val passed : report -> bool
+
+val run : ?config:config -> journal_path:string -> unit -> report
+(** Execute the full scenario; [journal_path] is (re)created and holds the
+    final journal afterwards (one entry per gene) for inspection. *)

@@ -7,7 +7,8 @@ type result = {
   misfit_history : Vec.t;
 }
 
-let deconvolve ?(iterations = 100) ?initial ?(min_value = 1e-12) kernel ~measurements () =
+let deconvolve ?on_iteration ?(iterations = 100) ?initial ?(min_value = 1e-12) kernel
+    ~measurements () =
   assert (iterations >= 1);
   Obs.Span.with_ "rl.deconvolve" (fun sp ->
       let a = Forward.matrix_grid kernel in
@@ -26,6 +27,7 @@ let deconvolve ?(iterations = 100) ?initial ?(min_value = 1e-12) kernel ~measure
       let misfits = Array.make iterations 0.0 in
       let f = ref f in
       for k = 0 to iterations - 1 do
+        (match on_iteration with Some hook -> hook (k + 1) | None -> ());
         let previous = !f in
         let predicted = Mat.mv a !f in
         let ratios =

@@ -68,8 +68,8 @@ let finish problem lambda a w omega (alpha : Vec.t) iterations active =
 
 (* The full constrained solve, returning the QP status alongside the
    estimate so the cascade can distinguish "converged" from "gave up". *)
-let solve_constrained ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true)
-    ~lambda problem =
+let solve_constrained ?on_iteration ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100)
+    ?(fail_on_stall = true) ~lambda problem =
   Obs.Span.with_ "solver.constrained" (fun sp ->
       Obs.Span.set_float sp "lambda" lambda;
       Obs.Span.set_float sp "ridge" ridge;
@@ -88,7 +88,7 @@ let solve_constrained ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_s
         else (None, None)
       in
       let qp = { Optimize.Qp.h; g = g_lin; c_eq; d_eq; a_ineq; b_ineq } in
-      let solution = Optimize.Qp.solve ~tol ~max_iter ~fail_on_stall qp in
+      let solution = Optimize.Qp.solve ?on_iteration ~tol ~max_iter ~fail_on_stall qp in
       let est =
         finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
           (List.length solution.Optimize.Qp.active)
@@ -100,7 +100,9 @@ let solve_constrained ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_s
       Obs.Metrics.observe "solver.active_positivity" (float_of_int est.active_positivity);
       (est, solution.Optimize.Qp.status))
 
-let solve ?(lambda = 1e-4) ?ridge problem = fst (solve_constrained ?ridge ~lambda problem)
+let solve ?budget ?(lambda = 1e-4) ?ridge problem =
+  let on_iteration = Option.map Robust.Budget.on_iteration budget in
+  fst (solve_constrained ?on_iteration ?ridge ~lambda problem)
 
 let solve_unconstrained ?(lambda = 1e-4) ?ridge problem =
   let a, w, omega, h, g_lin = quadratic_pieces ?ridge problem lambda in
@@ -229,8 +231,13 @@ let estimate_of_richardson_lucy problem lambda (rl : Richardson_lucy.result) =
     qp_iterations = rl.Richardson_lucy.iterations;
   }
 
-let solve_robust_validated ~policy ~lambda problem =
+let solve_robust_validated ~policy ~budget ~lambda problem =
   let attempts = ref [] in
+  (* One budget covers the whole cascade: iterations spent by an attempt
+     that failed still count against the later stages, and a blown budget
+     (non-recoverable by construction) aborts the remaining stages. *)
+  let on_iteration = Robust.Budget.on_iteration budget in
+  let aborted = ref false in
   (* Attempt durations are wall-clock via Obs.Clock (never Sys.time, which
      is processor time and stands still while the process waits). *)
   let record ?(iters = 0) stage lam ridge t0 outcome =
@@ -304,7 +311,7 @@ let solve_robust_validated ~policy ~lambda problem =
     (* Stage 1: constrained QP with bounded retry — escalating λ boost and
        ridge floor over the regularization strength. *)
     let k = ref 0 in
-    while !result = None && !k <= policy.max_retries do
+    while !result = None && (not !aborted) && !k <= policy.max_retries do
       let lam = lambda *. (policy.lambda_boost ** float_of_int !k) in
       let ridge =
         if !k = 0 then precondition_ridge
@@ -322,9 +329,13 @@ let solve_robust_validated ~policy ~lambda problem =
           in
           let t0 = Obs.Clock.now () in
           match
-            solve_constrained ~ridge ~tol:policy.qp_tol ~max_iter:policy.qp_max_iter
-              ~fail_on_stall:false ~lambda:lam problem
+            solve_constrained ~on_iteration ~ridge ~tol:policy.qp_tol
+              ~max_iter:policy.qp_max_iter ~fail_on_stall:false ~lambda:lam problem
           with
+      | exception Robust.Error.Error e ->
+        record Robust.Report.Constrained_qp lam ridge t0 (Error e);
+        last_error := e;
+        if not (Robust.Error.recoverable e) then aborted := true
       | exception Linalg.Singular _ ->
         let e =
           Robust.Error.Ill_conditioned
@@ -358,7 +369,7 @@ let solve_robust_validated ~policy ~lambda problem =
     done;
     (* Stage 2: unconstrained smoothing spline at the most-boosted
        regularization. *)
-    if !result = None && policy.enable_unconstrained then begin
+    if !result = None && (not !aborted) && policy.enable_unconstrained then begin
       let lam = lambda *. (policy.lambda_boost ** float_of_int policy.max_retries) in
       let ridge =
         Float.max precondition_ridge
@@ -373,7 +384,14 @@ let solve_robust_validated ~policy ~lambda problem =
             record ?iters stage l r t0 outcome
           in
           let t0 = Obs.Clock.now () in
-          match solve_unconstrained ~lambda:lam ~ridge problem with
+          match
+            Robust.Budget.check budget;
+            solve_unconstrained ~lambda:lam ~ridge problem
+          with
+          | exception Robust.Error.Error e ->
+            record Robust.Report.Unconstrained lam ridge t0 (Error e);
+            last_error := e;
+            if not (Robust.Error.recoverable e) then aborted := true
           | exception Linalg.Singular _ ->
         let e =
           Robust.Error.Ill_conditioned
@@ -394,7 +412,7 @@ let solve_robust_validated ~policy ~lambda problem =
     end;
     (* Stage 3: Richardson–Lucy on the raw grid — positivity-preserving and
        factorization-free, the fallback of last resort. *)
-    if !result = None && policy.enable_richardson_lucy then begin
+    if !result = None && (not !aborted) && policy.enable_richardson_lucy then begin
       attempt_span "richardson_lucy" (fun sp ->
           Obs.Span.set_float sp "lambda" lambda;
           let record ?iters stage l r t0 outcome =
@@ -406,9 +424,12 @@ let solve_robust_validated ~policy ~lambda problem =
             Array.map (fun g -> Float.max 0.0 g) problem.Problem.measurements
           in
           match
-            Richardson_lucy.deconvolve ~iterations:policy.rl_iterations problem.Problem.kernel
-              ~measurements ()
+            Richardson_lucy.deconvolve ~on_iteration ~iterations:policy.rl_iterations
+              problem.Problem.kernel ~measurements ()
           with
+      | exception Robust.Error.Error e ->
+        record Robust.Report.Richardson_lucy lambda 0.0 t0 (Error e);
+        last_error := e
       (* lint: allow R2 — last cascade stage: any failure must become a typed
          error for the report; there is no later stage to re-raise to *)
       | exception _ ->
@@ -430,15 +451,18 @@ let solve_robust_validated ~policy ~lambda problem =
     end;
     (match !result with Some (est, rep) -> Ok (est, rep) | None -> Error !last_error)
 
-let solve_robust ?(policy = default_policy) ?(lambda = 1e-4) problem =
+let solve_robust ?(policy = default_policy) ?budget ?(lambda = 1e-4) problem =
   Obs.Span.with_ "solver.solve_robust" (fun sp ->
       Obs.Span.set_float sp "lambda" lambda;
+      let budget =
+        match budget with Some b -> b | None -> Robust.Budget.unlimited ()
+      in
       let result =
         if not (Float.is_finite lambda && lambda >= 0.0) then
           Error
             (Robust.Error.Invalid_input
                { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" lambda })
-        else solve_robust_validated ~policy ~lambda problem
+        else solve_robust_validated ~policy ~budget ~lambda problem
       in
       (match result with
       | Ok (_, rep) ->

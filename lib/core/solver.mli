@@ -18,10 +18,12 @@ type estimate = {
   qp_iterations : int;
 }
 
-val solve : ?lambda:float -> ?ridge:float -> Problem.t -> estimate
+val solve : ?budget:Robust.Budget.t -> ?lambda:float -> ?ridge:float -> Problem.t -> estimate
 (** Default λ = 1e-4 (use {!Lambda} for data-driven selection). [ridge]
     (default 0) adds ridge·I to the normal matrix — the knob the robust
-    cascade escalates to fight ill-conditioning. *)
+    cascade escalates to fight ill-conditioning. [budget] (default
+    unlimited) is ticked once per QP interior-point pass; when it fires
+    the solve raises {!Robust.Error.Error} [(Budget_exhausted _)]. *)
 
 val solve_unconstrained : ?lambda:float -> ?ridge:float -> Problem.t -> estimate
 (** The same objective ignoring all constraints — the pure smoothing-spline
@@ -35,6 +37,11 @@ val naive : Problem.t -> estimate
 
 val profile_on : Problem.t -> estimate -> Vec.t -> Vec.t
 (** Evaluate the estimated f̂ on an arbitrary phase grid. *)
+
+val finite_estimate : estimate -> bool
+(** All of [alpha], [profile], [fitted] and [cost] are finite — the
+    sanity gate the cascade (and the fault-isolated batch) applies before
+    accepting an estimate. *)
 
 (** {1 Fault tolerance} *)
 
@@ -65,6 +72,7 @@ val repair_problem : Problem.t -> Problem.t * Robust.Report.repair list
 
 val solve_robust :
   ?policy:policy ->
+  ?budget:Robust.Budget.t ->
   ?lambda:float ->
   Problem.t ->
   (estimate * Robust.Report.t, Robust.Error.t) result
@@ -83,4 +91,10 @@ val solve_robust :
 
     On a clean problem the first attempt is numerically identical to
     {!solve} and the report shows [degradation = 0]. Every attempt (stage,
-    λ, ridge, wall-clock, outcome) is recorded in the report. *)
+    λ, ridge, wall-clock, outcome) is recorded in the report.
+
+    [budget] (default unlimited) is one {!Robust.Budget} shared across the
+    whole cascade: every QP interior-point pass and Richardson–Lucy update
+    ticks it, and when it fires the remaining stages are skipped and the
+    result is [Error (Budget_exhausted _)] — a runaway gene is cut off
+    rather than handed to a cheaper stage with the clock already blown. *)

@@ -5,10 +5,7 @@ exception Parse_error of error
 let error_to_string e = Printf.sprintf "line %d, column %d: %s" e.line e.column e.message
 
 let write ~path ~header ~rows =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write path (fun oc ->
       if header <> [] then output_string oc (String.concat "," header ^ "\n");
       List.iter
         (fun row ->

@@ -155,8 +155,7 @@ let load ~path =
     | exception Sys_error msg -> Error msg
 
 let save t ~path =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_json_string t))
+  Dataio.Atomic_file.write path (fun oc -> output_string oc (to_json_string t))
 
 (* {1 Regression gate} *)
 

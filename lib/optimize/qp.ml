@@ -57,7 +57,7 @@ let stationarity_residual problem x nu z =
    [sp] is the enclosing qp.solve span: each pass of the main loop emits
    one "qp.iteration" point on it, so a trace replays the convergence
    trajectory and the point count equals [solution.iterations]. *)
-let solve_interior_point ~sp ~tol ~max_iter ~fail_on_stall problem a b =
+let solve_interior_point ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem a b =
   let n = problem.h.Mat.rows in
   let m_ineq = a.Mat.rows in
   let n_eq = match problem.c_eq with Some c -> c.Mat.rows | None -> 0 in
@@ -99,6 +99,7 @@ let solve_interior_point ~sp ~tol ~max_iter ~fail_on_stall problem a b =
   in
   while (not !converged) && !iterations < max_iter do
     incr iterations;
+    (match on_iteration with Some f -> f !iterations | None -> ());
     let r_dual, r_eq, r_ineq = residuals () in
     let mu = duality_gap () in
     if
@@ -194,12 +195,13 @@ let solve_interior_point ~sp ~tol ~max_iter ~fail_on_stall problem a b =
     status = (if !converged then Converged else Stalled);
   }
 
-let solve_dispatch ~sp ~tol ~max_iter ~fail_on_stall problem =
+let solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem =
   let n = problem.h.Mat.rows in
   assert (Array.length problem.g = n);
   (* Direct solves count as one iteration; emit the matching single point
      so every solve's telemetry series has exactly [iterations] entries. *)
   let direct sol =
+    (match on_iteration with Some f -> f 1 | None -> ());
     if Obs.Span.enabled () then
       Obs.Span.point sp "qp.iteration" ~iter:1
         [ ("kkt_residual", sol.kkt_residual); ("mu", 0.0) ];
@@ -233,16 +235,17 @@ let solve_dispatch ~sp ~tol ~max_iter ~fail_on_stall problem =
   | Some a, Some b ->
     assert (a.Mat.cols = n);
     assert (Array.length b = a.Mat.rows);
-    solve_interior_point ~sp ~tol:(Float.max tol 1e-12) ~max_iter ~fail_on_stall problem a b
+    solve_interior_point ~sp ~on_iteration ~tol:(Float.max tol 1e-12) ~max_iter
+      ~fail_on_stall problem a b
   | Some _, None -> invalid_arg "Qp.solve: a_ineq without b_ineq"
 
-let solve ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
+let solve ?on_iteration ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
   Obs.Span.with_ "qp.solve" (fun sp ->
       Obs.Span.set_int sp "n" problem.h.Mat.rows;
       Obs.Span.set_int sp "m_ineq"
         (match problem.a_ineq with Some a -> a.Mat.rows | None -> 0);
       Obs.Span.set_int sp "m_eq" (match problem.c_eq with Some c -> c.Mat.rows | None -> 0);
-      let sol = solve_dispatch ~sp ~tol ~max_iter ~fail_on_stall problem in
+      let sol = solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem in
       Obs.Span.set_int sp "iterations" sol.iterations;
       Obs.Span.set_int sp "active" (List.length sol.active);
       Obs.Span.set_float sp "kkt_residual" sol.kkt_residual;

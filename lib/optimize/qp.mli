@@ -43,11 +43,23 @@ val solve_equality : Mat.t -> Vec.t -> c:Mat.t -> d:Vec.t -> Vec.t * Vec.t
 (** Equality-constrained minimizer via the KKT system; returns
     [(x, multipliers)]. *)
 
-val solve : ?tol:float -> ?max_iter:int -> ?fail_on_stall:bool -> problem -> solution
+val solve :
+  ?on_iteration:(int -> unit) ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?fail_on_stall:bool ->
+  problem ->
+  solution
 (** Full solve. [tol] bounds both the complementarity measure and the
     scaled KKT residuals at termination (default 1e-9); [max_iter] defaults
     to 100 interior-point steps. When the iteration cap is reached without
     convergence, raises {!Infeasible} if [fail_on_stall] (the default), and
     otherwise returns the last iterate with [status = Stalled] so callers
     (e.g. the robust degradation cascade) can distinguish "converged" from
-    "gave up" and react. *)
+    "gave up" and react.
+
+    [on_iteration] is invoked with the 1-based iteration count at the top
+    of every interior-point pass (and once, with [1], for direct
+    equality-only solves) before any work for that pass is done. It may
+    raise to abort the solve — the hook for external deadline/budget
+    enforcement without this module depending on any policy layer. *)

@@ -171,6 +171,29 @@ module Pool = struct
       Array.map (function Some v -> v | None -> assert false) out
     end
 
+  let parallel_map_result t ?chunk ~n f =
+    if n <= 0 then [||]
+    else begin
+      let out = Array.make n None in
+      parallel_for t ?chunk ~n (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            out.(i) <-
+              (match f i with
+              | v -> Some (Ok v)
+              (* lint: allow R2 -- per-index fault isolation is this
+                 function's contract: the exception is returned in slot i
+                 as a value, never swallowed *)
+              | exception e -> Some (Error e))
+          done);
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+
+  let busy t =
+    Mutex.lock t.mutex;
+    let b = t.busy in
+    Mutex.unlock t.mutex;
+    b
+
   let shutdown t =
     Mutex.lock t.mutex;
     t.stop <- true;
@@ -209,6 +232,15 @@ let jobs () =
 let set_jobs n =
   if n < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
   Mutex.lock state_mutex;
+  (* Resizing swaps (and shuts down) the default pool on next access;
+     doing that under a running job would orphan its unclaimed chunks.
+     The documented contract is now enforced instead of being silent
+     undefined behavior. *)
+  let in_flight = match !current with Some p -> Pool.busy p | None -> false in
+  if in_flight then begin
+    Mutex.unlock state_mutex;
+    invalid_arg "Parallel.set_jobs: parallel work is in flight"
+  end;
   requested := Some n;
   Mutex.unlock state_mutex
 
@@ -238,3 +270,5 @@ let () =
 
 let parallel_for ?chunk ~n body = Pool.parallel_for (default ()) ?chunk ~n body
 let parallel_map ?chunk ~n f = Pool.parallel_map (default ()) ?chunk ~n f
+
+let parallel_map_result ?chunk ~n f = Pool.parallel_map_result (default ()) ?chunk ~n f

@@ -48,6 +48,18 @@ module Pool : sig
   val parallel_map : t -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
   (** [parallel_map pool ~n f] is [[| f 0; ...; f (n-1) |]] with the
       applications distributed like {!parallel_for}. *)
+
+  val parallel_map_result :
+    t -> ?chunk:int -> n:int -> (int -> 'a) -> ('a, exn) result array
+  (** Fault-isolated {!parallel_map}: an exception raised by [f i] is
+      captured into slot [i] as [Error exn] instead of cancelling the
+      job — every index is always attempted, so one pathological item
+      cannot discard the work of its siblings (the genome-scale batch
+      contract). The chunk schedule, and therefore any per-chunk RNG
+      substream derivation, is identical to {!parallel_map}'s. *)
+
+  val busy : t -> bool
+  (** Whether a job is currently executing on this pool. *)
 end
 
 val jobs : unit -> int
@@ -58,7 +70,9 @@ val jobs : unit -> int
 val set_jobs : int -> unit
 (** Override the default pool size ([--jobs]). Takes effect on the next
     {!default} access (the previous default pool is shut down). Requires
-    [n >= 1]; must not be called while parallel work is in flight. *)
+    [n >= 1]. Raises [Invalid_argument] if called while the default pool
+    is executing a job: resizing mid-flight would tear down workers that
+    still hold unclaimed chunks. *)
 
 val default : unit -> Pool.t
 (** The lazily-created global pool, sized by {!jobs}. Re-created on size
@@ -69,3 +83,6 @@ val parallel_for : ?chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
 
 val parallel_map : ?chunk:int -> n:int -> (int -> 'a) -> 'a array
 (** {!Pool.parallel_map} on {!default}. *)
+
+val parallel_map_result : ?chunk:int -> n:int -> (int -> 'a) -> ('a, exn) result array
+(** {!Pool.parallel_map_result} on {!default}. *)

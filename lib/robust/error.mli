@@ -20,6 +20,16 @@ type t =
   | Kernel_degenerate
       (** A kernel time row carries (almost) no probability mass, so the
           forward operator cannot be normalized. *)
+  | Budget_exhausted of { resource : string; limit : float; spent : float }
+      (** A per-solve budget ({!Budget}) ran out before the solve
+          converged: [resource] names the dimension ("seconds" or
+          "iterations"), [limit] the cap, [spent] the amount consumed when
+          the guard fired. Never recoverable — the cascade stops rather
+          than spend more of a capped resource. *)
+  | Unexpected of { description : string }
+      (** A failure outside the taxonomy (an arbitrary exception captured
+          at a fault-isolation boundary), kept as a printable description
+          so batch reports can still classify and journal it. *)
 
 exception Error of t
 (** Escape hatch for contexts that cannot return a [result]; always
@@ -41,4 +51,15 @@ val recoverable : t -> bool
 (** Whether the degradation cascade has a meaningful move left for this
     error: numerical failures ([Ill_conditioned], [Qp_stalled],
     [Non_finite]) and repairable sigma problems are recoverable; structural
-    input errors and degenerate kernels are not. *)
+    input errors, degenerate kernels, exhausted budgets, and unexpected
+    exceptions are not. *)
+
+val class_name : t -> string
+(** Stable lowercase slug of the constructor (e.g. ["qp_stalled"]), used
+    as the metrics label and journal field for per-class failure counts.
+    [same_class a b] iff [class_name a = class_name b]. *)
+
+val of_exn : exn -> t
+(** Project an arbitrary exception into the taxonomy: [Error e] unwraps to
+    [e]; anything else becomes [Unexpected] with its printed form. Used at
+    fault-isolation boundaries ({!Parallel.parallel_map_result} slots). *)

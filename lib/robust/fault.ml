@@ -43,17 +43,25 @@ let spike ?index ~magnitude () =
         v);
   }
 
-(* Shuffle, guaranteed to actually permute (length >= 2): the harness must
-   not silently test the identity fault. *)
+(* Shuffle, guaranteed to actually permute when that is possible (length
+   >= 2): the harness must not silently test the identity fault. Total:
+   shorter vectors have no non-identity permutation and return unchanged.
+   The identity test runs on an index permutation — comparing shuffled
+   values would mistake NaN-containing vectors for permuted ones. *)
 let shuffle_strict rng v =
-  let out = Array.copy v in
-  Rng.shuffle rng out;
-  if Array.length v >= 2 && out = v then begin
-    let tmp = out.(0) in
-    out.(0) <- out.(1);
-    out.(1) <- tmp
-  end;
-  out
+  let n = Array.length v in
+  if n < 2 then Array.copy v
+  else begin
+    let perm = Array.init n (fun i -> i) in
+    Rng.shuffle rng perm;
+    let identity = ref true in
+    Array.iteri (fun i p -> if p <> i then identity := false) perm;
+    if !identity then begin
+      perm.(0) <- 1;
+      perm.(1) <- 0
+    end;
+    Array.map (fun i -> v.(i)) perm
+  end
 
 let shuffle = { name = "shuffled order"; inject = shuffle_strict }
 
@@ -114,3 +122,45 @@ let kernel_shuffle_times =
         let k = copy_kernel k in
         { k with Cellpop.Kernel.times = shuffle_strict rng k.Cellpop.Kernel.times });
   }
+
+(* ---------------- matrix (gene-batch) faults ---------------- *)
+
+let choose_rows rng ~k ~rows =
+  if k < 0 || k > rows then invalid_arg "Robust.Fault.choose_rows: need 0 <= k <= rows";
+  (* Partial Fisher-Yates over the index vector: k distinct draws. *)
+  let idx = Array.init rows (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Rng.int rng (rows - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  let chosen = Array.sub idx 0 k in
+  Array.sort compare chosen;
+  chosen
+
+let corrupt_rows ~rows fault =
+  {
+    name = Printf.sprintf "%s in %d rows" fault.name (Array.length rows);
+    inject =
+      (fun rng m ->
+        let m = Mat.copy m in
+        Array.iter (fun g -> Mat.set_row m g (fault.inject rng (Mat.row m g))) rows;
+        m);
+  }
+
+let corrupt_random_rows ~k fault =
+  {
+    name = Printf.sprintf "%s in %d random rows" fault.name k;
+    inject =
+      (fun rng m ->
+        let rows = choose_rows rng ~k ~rows:(fst (Mat.dims m)) in
+        (corrupt_rows ~rows fault).inject rng m);
+  }
+
+let poison_sigma_rows ~rows = corrupt_rows ~rows (zero_at ())
+
+exception Injected_crash of { done_ : int; total : int }
+
+let crash_after ~genes ~done_ ~total =
+  if done_ >= genes then raise (Injected_crash { done_; total })

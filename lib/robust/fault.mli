@@ -31,8 +31,9 @@ val spike : ?index:int -> magnitude:float -> unit -> Vec.t t
 (** Adversarial noise spike: add [magnitude · max(1, ‖v‖∞)] to one entry. *)
 
 val shuffle : Vec.t t
-(** Random permutation, guaranteed different from the input order (for
-    vectors of length ≥ 2) — the shuffled-times fault. *)
+(** Random permutation, guaranteed different from the input order when one
+    exists (length ≥ 2) — the shuffled-times fault. Total: vectors of
+    length 0 or 1 are returned unchanged. *)
 
 (** {1 Kernel faults} *)
 
@@ -51,3 +52,36 @@ val kernel_duplicate_time : ?row:int -> unit -> Cellpop.Kernel.t t
 val kernel_shuffle_times : Cellpop.Kernel.t t
 (** Shuffle the kernel's time stamps (rows untouched), breaking the
     sortedness invariant. *)
+
+(** {1 Matrix faults} (gene batches: rows are genes)
+
+    These are the genome-scale chaos injectors: they corrupt a chosen (or
+    random) subset of gene rows so the harness can assert that exactly
+    those genes fail while every clean gene's estimate is untouched. *)
+
+val choose_rows : Rng.t -> k:int -> rows:int -> int array
+(** [k] distinct row indices drawn without replacement from
+    [0 .. rows-1], returned ascending. Raises [Invalid_argument] unless
+    [0 <= k <= rows]. *)
+
+val corrupt_rows : rows:int array -> Vec.t t -> Mat.t t
+(** Apply a vector fault independently to each of the given rows of a
+    copy of the matrix. *)
+
+val corrupt_random_rows : k:int -> Vec.t t -> Mat.t t
+(** {!choose_rows} then {!corrupt_rows}. *)
+
+val poison_sigma_rows : rows:int array -> Mat.t t
+(** Force one entry of each given σ row to 0 — invalid input (σ must be
+    strictly positive) that a batch must contain, not crash on. *)
+
+(** {1 Mid-batch faults} *)
+
+exception Injected_crash of { done_ : int; total : int }
+(** Simulated process death raised from inside a batch progress hook. *)
+
+val crash_after : genes:int -> done_:int -> total:int -> unit
+(** An [on_block] hook for [Batch.solve_all_result]: raises
+    {!Injected_crash} at the first block boundary where [done_ >= genes].
+    Because the journal is flushed before the hook runs, the batch dies
+    exactly as SIGKILL would — journal intact, run resumable. *)

@@ -1,0 +1,55 @@
+(* The chaos harness (lib/core/chaos.ml) run at test scale: injected
+   per-gene faults plus a mid-batch crash, with the three isolation
+   invariants (exact failure set, bitwise-clean genes at every jobs
+   setting, bit-exact kill/resume) checked by the harness itself. The
+   acceptance-criterion scale (200 genes, 10 faults) runs via
+   `dune build @runtest-chaos` or `deconv-cli chaos`. *)
+
+open Testutil
+
+let run_config config =
+  let path = Filename.temp_file "deconv-test-chaos" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> Deconv.Chaos.run ~config ~journal_path:path ())
+
+let small =
+  {
+    Deconv.Chaos.default_config with
+    Deconv.Chaos.genes = 24;
+    faults = 4;
+    jobs = [ 1; 2 ];
+    block = 6;
+    n_cells = 300;
+    n_phi = 31;
+    n_times = 7;
+  }
+
+let test_small_scenario () =
+  let report = run_config small in
+  List.iter (fun v -> Printf.eprintf "chaos violation: %s\n" v)
+    report.Deconv.Chaos.violations;
+  check_true "all isolation invariants hold" (Deconv.Chaos.passed report);
+  Alcotest.(check int) "exactly the injected faults journaled as errors" 4
+    report.Deconv.Chaos.journaled_errors;
+  Alcotest.(check int) "chosen fault rows" 4
+    (Array.length report.Deconv.Chaos.faulty_rows);
+  check_true "resume replayed journaled genes" (report.Deconv.Chaos.replayed > 0)
+
+let test_fault_free_scenario () =
+  (* faults = 0: nothing fails, the crash/resume leg still exercises the
+     journal, and the class table is empty. *)
+  let report = run_config { small with Deconv.Chaos.faults = 0 } in
+  check_true "invariants hold without faults" (Deconv.Chaos.passed report);
+  Alcotest.(check int) "no errors journaled" 0 report.Deconv.Chaos.journaled_errors;
+  Alcotest.(check (list (pair string int)))
+    "no failure classes" [] report.Deconv.Chaos.class_counts
+
+let tests =
+  [
+    ( "chaos-harness",
+      [
+        case "small chaos scenario passes" test_small_scenario;
+        case "fault-free scenario passes" test_fault_free_scenario;
+      ] );
+  ]

@@ -145,6 +145,28 @@ let test_r8_negative () =
   check_rules "the pool API is the sanctioned route" [] ~path:"lib/core/scratch.ml"
     "let f body = Parallel.parallel_for ~n:8 body"
 
+let test_r9_positive () =
+  check_rules "open_out in library code" [ "R9" ] ~path:"lib/core/scratch.ml"
+    "let f path = open_out path";
+  check_rules "open_out_bin partial application" [ "R9" ] ~path:"lib/core/scratch.ml"
+    "let opener = open_out_bin";
+  check_rules "Stdlib.open_out_gen" [ "R9" ] ~path:"lib/core/scratch.ml"
+    "let f p = Stdlib.open_out_gen [Open_append] 0o644 p";
+  check_rules "Out_channel.with_open_text" [ "R9" ] ~path:"lib/obs/scratch.ml"
+    "let f p s = Out_channel.with_open_text p (fun oc -> Out_channel.output_string oc s)"
+
+let test_r9_negative () =
+  check_rules "the atomic writer itself is exempt" [] ~path:"lib/dataio/atomic_file.ml"
+    "let f path = open_out_bin path";
+  check_rules "R9 is lib-only: bin may open channels" [] ~path:"bin/scratch.ml"
+    "let f path = open_out path";
+  check_rules "input channels are fine" [] ~path:"lib/core/scratch.ml"
+    "let f path = open_in path";
+  check_rules "Out_channel reads of an existing channel are fine" []
+    ~path:"lib/core/scratch.ml" "let f oc s = Out_channel.output_string oc s";
+  check_rules "a suppression with a reason still works" [] ~path:"lib/core/scratch.ml"
+    "let f tmp = open_out tmp (* lint: allow R9 -- same-dir temp file, renamed by caller *)"
+
 (* Suppressions and R0. *)
 
 let test_suppression_trailing () =
@@ -265,6 +287,8 @@ let tests =
         case "r6 negative" test_r6_negative;
         case "r8 positive" test_r8_positive;
         case "r8 negative" test_r8_negative;
+        case "r9 positive" test_r9_positive;
+        case "r9 negative" test_r9_negative;
       ] );
     ( "lint-suppress",
       [
