@@ -1407,6 +1407,27 @@ let micro () =
             in
             fun () ->
               ignore (Deconv.Checkpoint.entry_of_line (Deconv.Checkpoint.entry_json entry))));
+      (* The whole-program checker on a synthetic 40-module corpus: a
+         40-deep cross-file call chain (worst case for the effect
+         fixpoint) capped by a Parallel fan-out, so parse, graph build,
+         propagation and the R10/R11 root scans are all on the clock.
+         Synthetic sources keep the workload identical regardless of the
+         working directory or repository drift. *)
+      Test.make ~name:"lint_check"
+        (Staged.stage
+           (let sources =
+              List.init 40 (fun i ->
+                  let body =
+                    if i = 0 then "let f00 x = if x < 0 then failwith \"neg\" else x"
+                    else if i = 39 then
+                      Printf.sprintf
+                        "let f39 () = Parallel.parallel_map ~n:4 (fun x -> M38.f38 x)"
+                    else
+                      Printf.sprintf "let f%02d x = M%02d.f%02d (x + 1)" i (i - 1) (i - 1)
+                  in
+                  (Printf.sprintf "lib/core/m%02d.ml" i, body))
+            in
+            fun () -> ignore (Analysis.Policy.check_sources sources)));
     ]
   in
   ignore (Parallel.default ());

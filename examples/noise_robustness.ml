@@ -25,7 +25,8 @@ let () =
   List.iter
     (fun level ->
       let noise =
-        if level = 0.0 then Deconv.Noise.No_noise else Deconv.Noise.Gaussian_fraction level
+        if Float.equal level 0.0 then Deconv.Noise.No_noise
+        else Deconv.Noise.Gaussian_fraction level
       in
       let run = deconvolve ~noise ~seed:31 goodwin in
       let r = run.Deconv.Pipeline.recovery in

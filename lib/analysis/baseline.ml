@@ -1,0 +1,55 @@
+type entry = { rule : string; file : string; message : string }
+
+type t = entry list
+
+type comparison = { fresh : Finding.t list; stale : t }
+
+(* Messages are single-line by construction (Printf-built), but scrub
+   separators anyway so a snapshot line always splits back into three
+   fields. *)
+let scrub s =
+  String.map (fun c -> match c with '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let key (f : Finding.t) =
+  { rule = f.Finding.rule; file = scrub f.Finding.file; message = scrub f.Finding.message }
+
+let entry_compare a b =
+  let c = String.compare a.rule b.rule in
+  if c <> 0 then c
+  else
+    let c = String.compare a.file b.file in
+    if c <> 0 then c else String.compare a.message b.message
+
+let entry_equal a b = entry_compare a b = 0
+
+let to_string findings =
+  let entries =
+    List.map key findings |> List.sort_uniq entry_compare
+  in
+  String.concat ""
+    (List.map (fun e -> Printf.sprintf "%s\t%s\t%s\n" e.rule e.file e.message) entries)
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.equal line "" || (String.length line > 0 && Char.equal line.[0] '#')
+         then None
+         else
+           match String.split_on_char '\t' line with
+           | rule :: file :: rest when rest <> [] ->
+             Some { rule; file; message = String.concat "\t" rest }
+           | _ -> None)
+
+let compare_against ~baseline findings =
+  let fresh =
+    List.filter
+      (fun f -> not (List.exists (entry_equal (key f)) baseline))
+      findings
+  in
+  let stale =
+    List.filter
+      (fun e -> not (List.exists (fun f -> entry_equal (key f) e) findings))
+      baseline
+  in
+  { fresh; stale }

@@ -56,3 +56,52 @@ let list_to_json findings =
   match findings with
   | [] -> "[]"
   | fs -> "[\n  " ^ String.concat ",\n  " (List.map to_json fs) ^ "\n]"
+
+(* Minimal SARIF 2.1.0: one run, one driver, the referenced rules, one
+   result per finding. Hand-rolled like the JSON above — the point is to
+   be ingestible by standard viewers without pulling in a JSON dep. *)
+let list_to_sarif ~tool ~rules findings =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let referenced =
+    List.fold_left
+      (fun acc f -> if List.mem f.rule acc then acc else f.rule :: acc)
+      [] findings
+    |> List.rev
+  in
+  let rule_objs =
+    List.filter_map
+      (fun (id, title, description) ->
+        if List.mem id referenced then
+          Some
+            (Printf.sprintf
+               "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},\"fullDescription\":{\"text\":\"%s\"}}"
+               (json_escape id) (json_escape title) (json_escape description))
+        else None)
+      rules
+  in
+  let result f =
+    Printf.sprintf
+      "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\"%s. hint: %s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+      (json_escape f.rule)
+      (json_escape f.message)
+      (json_escape f.hint)
+      (json_escape f.file)
+      f.line f.col
+  in
+  add "{\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add
+    "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"runs\": [{\n";
+  add "    \"tool\": {\"driver\": {\"name\": \"%s\", \"rules\": [%s]}},\n"
+    (json_escape tool)
+    (String.concat ", " rule_objs);
+  (match findings with
+  | [] -> add "    \"results\": []\n"
+  | fs ->
+    add "    \"results\": [\n      %s\n    ]\n"
+      (String.concat ",\n      " (List.map result fs)));
+  add "  }]\n";
+  add "}";
+  Buffer.contents b

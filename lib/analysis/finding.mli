@@ -25,3 +25,9 @@ val to_json : t -> string
 
 val list_to_json : t list -> string
 (** A JSON array of {!to_json} objects. *)
+
+val list_to_sarif :
+  tool:string -> rules:(string * string * string) list -> t list -> string
+(** A minimal SARIF 2.1.0 log (one run). [rules] is the registry as
+    [(id, title, description)]; only rules referenced by a finding are
+    emitted in the driver metadata. *)

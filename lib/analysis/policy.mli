@@ -1,0 +1,53 @@
+(** The interprocedural rules (R10–R12) checked by [deconv-lint check]:
+    a {!Callgraph} + {!Effects} pass enforcing the repository's two
+    whole-program invariants — the typed-error cascade and bit-for-bit
+    jobs-independent parallelism — plus the purity of the numeric core.
+
+    {b R10 (exception escape).} Against a set of declared roots (by
+    default the robust public surface: [Deconv.Pipeline], [Deconv.Batch],
+    [Deconv.Bootstrap], [Deconv.Solver.solve_robust], [Deconv.Chaos] —
+    plus every public definition of a file that lives outside [lib/],
+    so scratch files are checked wholesale): any exception other than
+    [Robust.Error.Error] that can propagate out of a root uncaught is a
+    finding, anchored at the originating raise site.
+
+    {b R11 (domain safety).} Every closure handed to a [Parallel]
+    fan-out entry point is audited: module-level mutation, ambient
+    RNG/clock reads, and non-[Robust.Error] raises reachable from the
+    task body are findings, anchored at the offending site. Capabilities
+    originating inside [lib/parallel] and [lib/obs] (the audited,
+    synchronized layers) are exempt.
+
+    {b R12 (numeric-core purity).} Definitions in [lib/numerics],
+    [lib/spline] and [lib/optimize] must not reach IO, ambient RNG or
+    raw clocks (again excepting origins inside [lib/obs], whose mockable
+    clock is the sanctioned instrument).
+
+    Findings honor the same per-site suppression comments (rule id plus
+    reason, anchored at the originating site), [--disable] ids and
+    output formats as the per-file rules. *)
+
+type check_result = {
+  findings : Finding.t list;  (** sorted, suppressions already applied *)
+  files : int;  (** number of [.ml] files analyzed *)
+  defs : int;  (** definitions in the call graph *)
+  iterations : int;  (** effect-fixpoint sweeps until stable *)
+  errors : (string * string) list;  (** (path, message) parse/IO errors *)
+}
+
+val default_roots : string list
+(** R10's declared roots. A pattern ending in ['.'] matches every public
+    definition under that prefix; anything else must match an id
+    exactly. *)
+
+val check_sources :
+  ?disabled:string list ->
+  ?roots:string list ->
+  (string * string) list ->
+  check_result
+(** Analyze in-memory [(path, source)] pairs (tests use this; [.mli]
+    sources contribute export lists). *)
+
+val check_paths :
+  ?disabled:string list -> ?roots:string list -> string list -> check_result
+(** Analyze files/directories on disk ([deconv-lint check]'s driver). *)

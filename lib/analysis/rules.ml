@@ -1,4 +1,12 @@
-type scope = Everywhere | Lib_only | Except_obs | Except_concurrency | Except_atomic
+type scope =
+  | Everywhere
+  | Lib_only
+  | Except_obs
+  | Except_concurrency
+  | Except_atomic
+  | Check_only
+      (** interprocedural: enforced by the whole-program [deconv-lint check]
+          pass (callgraph + effect fixpoint), not the per-file walker *)
 
 type t = { id : string; title : string; scope : scope; description : string }
 
@@ -117,6 +125,52 @@ let all =
          Route final-path writes through Dataio.Atomic_file.write (same-dir \
          temp file + fsync + rename); only the atomic writer itself may open \
          an output channel.";
+    };
+    {
+      id = "R10";
+      title = "exception can escape a typed-error entry point";
+      scope = Check_only;
+      description =
+        "An explicit raise site (raise/failwith/invalid_arg or a declared \
+         exception constructor) whose exception can propagate, through the \
+         call graph, out of one of the library's declared robust entry points \
+         (the Pipeline/Batch/Bootstrap/solve_robust surface) without being \
+         caught and converted to Robust.Error. The validate-repair-retry-\
+         degrade cascade is a whole-program guarantee: one tunneling raise \
+         turns a typed, reportable failure into a crash. Convert at the \
+         boundary (Robust.Error.raise_error / Robust.Error.of_exn) or \
+         suppress with a reason explaining why the exception cannot actually \
+         reach the entry point.";
+    };
+    {
+      id = "R11";
+      title = "nondeterminism reachable from a parallel task body";
+      scope = Check_only;
+      description =
+        "Code reachable from a closure handed to Parallel.parallel_for / \
+         parallel_map / parallel_map_result writes module-level mutable \
+         state, reads the ambient Random generator or a raw clock, or can \
+         raise an exception other than Robust.Error. Task bodies run on \
+         worker domains: unsynchronized global writes and ambient reads make \
+         results depend on domain count and scheduling — exactly what the \
+         bit-for-bit jobs-independence tests forbid — and an untyped raise \
+         cancels sibling chunks in a scheduling-dependent order. State \
+         guarded inside lib/parallel and lib/obs (the audited layers) is \
+         exempt.";
+    };
+    {
+      id = "R12";
+      title = "impure numeric kernel";
+      scope = Check_only;
+      description =
+        "A function defined in the numeric core (lib/numerics, lib/spline, \
+         lib/optimize) can, transitively, perform IO, read the ambient \
+         Random generator, or read a raw clock. The hot kernels must stay \
+         referentially transparent so they can be memoized, benchmarked, and \
+         fanned out across domains freely; observability flows through \
+         Obs (whose clock and sinks are the audited exception). Explicit \
+         Numerics.Rng substreams passed as arguments are, by construction, \
+         not ambient and do not trip this rule.";
     };
   ]
 

@@ -23,7 +23,16 @@ let solve_gene t ?sigmas ?(lambda = `Gcv) ~measurements () =
   let lambda =
     match lambda with
     | `Fixed l -> l
-    | `Gcv -> Lambda.select problem ~method_:`Gcv ()
+    | `Gcv -> (
+      (* GCV scoring tolerates singular candidate systems (they score as
+         infinitely bad), but the final factorization at the chosen λ can
+         still fail; that failure crosses this typed-error boundary as
+         Robust.Error, matching Solver.solve. *)
+      match Lambda.select problem ~method_:`Gcv () with
+      | l -> l
+      | exception Linalg.Singular _ ->
+        Robust.Error.raise_error
+          (Robust.Error.Ill_conditioned { cond = Float.infinity }))
   in
   Solver.solve ~lambda problem
 
@@ -137,7 +146,9 @@ end
 
 let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?journal
     ?(block = 64) ?on_block ~measurements () =
-  if block < 1 then invalid_arg "Batch.solve_all_result: block must be >= 1";
+  if block < 1 then
+    Robust.Error.raise_error
+      (Robust.Error.Invalid_input { field = "block"; why = "must be >= 1" });
   let genes, _ = Mat.dims measurements in
   let sigma_row g = Option.map (fun s -> Mat.row s g) sigmas in
   let keys =

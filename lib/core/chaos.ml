@@ -96,7 +96,9 @@ let with_jobs n f =
 
 let run ?(config = default_config) ~journal_path () =
   let cfg = config in
-  if cfg.faults > cfg.genes then invalid_arg "Chaos.run: faults must be <= genes";
+  if cfg.faults > cfg.genes then
+    Robust.Error.raise_error
+      (Robust.Error.Invalid_input { field = "faults"; why = "must be <= genes" });
   let violations = ref [] in
   let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   let batch, clean_measurements = fixture cfg in

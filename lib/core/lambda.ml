@@ -43,13 +43,18 @@ let gcv problem ~lambdas =
   let w = Problem.weights problem in
   let omega = Problem.penalty problem in
   let n = float_of_int (Problem.num_measurements problem) in
+  (* The Singular catch sits inside [score_of] itself (not only in
+     [guarded_score]'s wrapper) so the failure is handled at the raise's
+     nearest boundary — a singular candidate scores as infinitely bad. *)
   let score_of lambda =
-    let fit =
+    match
       Optimize.Ridge.solve ~a ~b:problem.Problem.measurements ~weights:w ~penalty:omega
         ~lambda ()
-    in
-    let denom = n -. (robust_gamma *. fit.Optimize.Ridge.edf) in
-    if denom <= 0.0 then Float.infinity else n *. fit.Optimize.Ridge.rss /. (denom *. denom)
+    with
+    | exception Linalg.Singular _ -> Float.infinity
+    | fit ->
+      let denom = n -. (robust_gamma *. fit.Optimize.Ridge.edf) in
+      if denom <= 0.0 then Float.infinity else n *. fit.Optimize.Ridge.rss /. (denom *. denom)
   in
   let best, curve =
     Optimize.Cross_validation.select ~lambdas ~fit_and_score:(fun lambda ->
@@ -78,22 +83,28 @@ let kfold problem ~rng ~k ~lambdas =
      never mutated during the sweep, so parallel candidates share folds
      without sharing generator state. *)
   let fold_master = Rng.split rng in
+  (* As in [gcv]: a fold whose normal matrix is singular scores the
+     candidate as infinitely bad, handled right here at the boundary. *)
   let score_of lambda =
     let fold_rng = Rng.copy fold_master in
-    Optimize.Cross_validation.kfold_score ~rng:fold_rng ~k ~n
-      ~fit_on:(fun ~train lambda ->
-        Optimize.Ridge.solve ~a:(submatrix train) ~b:(subvec train b) ~weights:(subvec train w)
-          ~penalty:omega ~lambda ())
-      ~predict_error:(fun fit ~test ->
-        let acc = ref 0.0 in
-        Array.iter
-          (fun m ->
-            let predicted = Vec.dot (Mat.row a m) fit.Optimize.Ridge.x in
-            let r = b.(m) -. predicted in
-            acc := !acc +. (w.(m) *. r *. r))
-          test;
-        !acc /. float_of_int (Array.length test))
-      lambda
+    match
+      Optimize.Cross_validation.kfold_score ~rng:fold_rng ~k ~n
+        ~fit_on:(fun ~train lambda ->
+          Optimize.Ridge.solve ~a:(submatrix train) ~b:(subvec train b)
+            ~weights:(subvec train w) ~penalty:omega ~lambda ())
+        ~predict_error:(fun fit ~test ->
+          let acc = ref 0.0 in
+          Array.iter
+            (fun m ->
+              let predicted = Vec.dot (Mat.row a m) fit.Optimize.Ridge.x in
+              let r = b.(m) -. predicted in
+              acc := !acc +. (w.(m) *. r *. r))
+            test;
+          !acc /. float_of_int (Array.length test))
+        lambda
+    with
+    | score -> score
+    | exception Linalg.Singular _ -> Float.infinity
   in
   let best, curve =
     Optimize.Cross_validation.select ~lambdas ~fit_and_score:(fun lambda ->

@@ -15,15 +15,25 @@ let create ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_contin
     ?sigmas ~kernel ~basis ~measurements ~params () =
   let n_m = Array.length measurements in
   if Array.length kernel.Cellpop.Kernel.times <> n_m then
-    invalid_arg
-      (Printf.sprintf "Problem.create: %d measurements but kernel has %d times" n_m
-         (Array.length kernel.Cellpop.Kernel.times));
+    Robust.Error.raise_error
+      (Robust.Error.Invalid_input
+         {
+           field = "measurements";
+           why =
+             Printf.sprintf "%d measurements but kernel has %d times" n_m
+               (Array.length kernel.Cellpop.Kernel.times);
+         });
   let sigmas =
     match sigmas with
     | Some s ->
       if Array.length s <> n_m then
-        invalid_arg
-          (Printf.sprintf "Problem.create: %d sigmas for %d measurements" (Array.length s) n_m);
+        Robust.Error.raise_error
+          (Robust.Error.Invalid_input
+             {
+               field = "sigmas";
+               why =
+                 Printf.sprintf "%d sigmas for %d measurements" (Array.length s) n_m;
+             });
       (* Sigma positivity/finiteness is deliberately NOT asserted here:
          [validate] reports it as a typed error, and the robust solver can
          repair it. *)

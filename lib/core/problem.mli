@@ -27,7 +27,8 @@ val create :
   t
 (** All constraints default to on (the paper's full method); [sigmas]
     default to all-ones (unweighted fit). Dimension compatibility is
-    checked. *)
+    checked; a mismatch raises {!Robust.Error.Error} ([Invalid_input]),
+    keeping the typed-error contract from the very first entry point. *)
 
 val num_measurements : t -> int
 

@@ -102,7 +102,16 @@ let solve_constrained ?on_iteration ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 10
 
 let solve ?budget ?(lambda = 1e-4) ?ridge problem =
   let on_iteration = Option.map Robust.Budget.on_iteration budget in
-  fst (solve_constrained ?on_iteration ?ridge ~lambda problem)
+  (* The boundary of the typed-error contract for the raw (non-cascade)
+     entry point: internal numeric exceptions become Robust.Error here, so
+     direct callers — Batch.solve_gene, Bootstrap.residual's replicate
+     re-solves — never see a bare Singular/Infeasible. *)
+  match fst (solve_constrained ?on_iteration ?ridge ~lambda problem) with
+  | est -> est
+  | exception Linalg.Singular _ ->
+    Robust.Error.raise_error (Robust.Error.Ill_conditioned { cond = Float.infinity })
+  | exception Optimize.Qp.Infeasible _ ->
+    Robust.Error.raise_error (Robust.Error.Qp_stalled { iterations = 0 })
 
 let solve_unconstrained ?(lambda = 1e-4) ?ridge problem =
   let a, w, omega, h, g_lin = quadratic_pieces ?ridge problem lambda in

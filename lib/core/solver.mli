@@ -23,7 +23,10 @@ val solve : ?budget:Robust.Budget.t -> ?lambda:float -> ?ridge:float -> Problem.
     (default 0) adds ridge·I to the normal matrix — the knob the robust
     cascade escalates to fight ill-conditioning. [budget] (default
     unlimited) is ticked once per QP interior-point pass; when it fires
-    the solve raises {!Robust.Error.Error} [(Budget_exhausted _)]. *)
+    the solve raises {!Robust.Error.Error} [(Budget_exhausted _)]. All
+    failures cross this boundary as {!Robust.Error.Error}: a singular
+    system surfaces as [Ill_conditioned], an infeasible QP as
+    [Qp_stalled] — never a bare internal exception. *)
 
 val solve_unconstrained : ?lambda:float -> ?ridge:float -> Problem.t -> estimate
 (** The same objective ignoring all constraints — the pure smoothing-spline

@@ -167,6 +167,8 @@ let approx_equal ?(tol = 1e-9) a b =
 
 let pp fmt m =
   for i = 0 to m.rows - 1 do
+    (* lint: allow R12 -- pp writes only to the caller-supplied formatter; it
+       is the debug printer for test output, not a kernel *)
     Format.fprintf fmt "[";
     for j = 0 to m.cols - 1 do
       Format.fprintf fmt "%s%10.4g" (if j = 0 then "" else " ") (get m i j)

@@ -101,6 +101,8 @@ let approx_equal ?(tol = 1e-9) x y =
      end
 
 let pp fmt x =
+  (* lint: allow R12 -- pp writes only to the caller-supplied formatter; it
+     is the debug printer for test output, not a kernel *)
   Format.fprintf fmt "[|";
   Array.iteri (fun i xi -> Format.fprintf fmt "%s%g" (if i = 0 then "" else "; ") xi) x;
   Format.fprintf fmt "|]"

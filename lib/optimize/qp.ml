@@ -231,13 +231,21 @@ let solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem =
           kkt_residual = stationarity_residual problem x [||] [||];
           status = Converged;
         }
-    | Some _, None -> invalid_arg "Qp.solve: c_eq without d_eq")
+    | Some _, None ->
+      (* lint: allow R10 R11 -- mismatched optional-constraint pair is caller
+         programmer error; the solver cascade builds matched pairs by
+         construction, and lib/optimize sits below lib/robust *)
+      invalid_arg "Qp.solve: c_eq without d_eq")
   | Some a, Some b ->
     assert (a.Mat.cols = n);
     assert (Array.length b = a.Mat.rows);
     solve_interior_point ~sp ~on_iteration ~tol:(Float.max tol 1e-12) ~max_iter
       ~fail_on_stall problem a b
-  | Some _, None -> invalid_arg "Qp.solve: a_ineq without b_ineq"
+  | Some _, None ->
+    (* lint: allow R10 R11 -- mismatched optional-constraint pair is caller
+       programmer error; the solver cascade builds matched pairs by
+       construction, and lib/optimize sits below lib/robust *)
+    invalid_arg "Qp.solve: a_ineq without b_ineq"
 
 let solve ?on_iteration ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
   Obs.Span.with_ "qp.solve" (fun sp ->

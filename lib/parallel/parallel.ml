@@ -37,6 +37,9 @@ module Pool = struct
   }
 
   let create ~domains =
+    (* lint: allow R10 -- programmer-error precondition on a static pool size;
+       this zero-dependency layer sits below lib/robust and cannot raise its
+       typed error *)
     if domains < 1 then invalid_arg "Parallel.Pool.create: domains must be >= 1";
     {
       size = domains;
@@ -154,6 +157,9 @@ module Pool = struct
           t.busy <- false;
           Mutex.unlock t.mutex;
           match job.failure with
+          (* lint: allow R10 R11 -- deterministic re-raise of the lowest-index
+             failing chunk's own exception; what a task can raise is already
+             tracked at the caller through its closure *)
           | Some (e, bt) -> Printexc.raise_with_backtrace e bt
           | None -> ()
         end
@@ -230,6 +236,9 @@ let jobs () =
     | None -> Domain.recommended_domain_count ())
 
 let set_jobs n =
+  (* lint: allow R10 -- programmer-error precondition with a test-pinned
+     message; this zero-dependency layer sits below lib/robust and cannot
+     raise its typed error *)
   if n < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
   Mutex.lock state_mutex;
   (* Resizing swaps (and shuts down) the default pool on next access;
@@ -239,6 +248,8 @@ let set_jobs n =
   let in_flight = match !current with Some p -> Pool.busy p | None -> false in
   if in_flight then begin
     Mutex.unlock state_mutex;
+    (* lint: allow R10 R11 -- contract violation with a test-pinned message:
+       resizing the pool mid-job is refused, never performed; below lib/robust *)
     invalid_arg "Parallel.set_jobs: parallel work is in flight"
   end;
   requested := Some n;

@@ -8,10 +8,12 @@ type t = {
 let create ?max_seconds ?max_iterations () =
   (match max_seconds with
   | Some s when not (Float.is_finite s && s > 0.) ->
-    invalid_arg "Robust.Budget.create: max_seconds must be finite and > 0"
+    Error.raise_error
+      (Error.Invalid_input { field = "max_seconds"; why = "must be finite and > 0" })
   | _ -> ());
   (match max_iterations with
-  | Some i when i < 1 -> invalid_arg "Robust.Budget.create: max_iterations must be >= 1"
+  | Some i when i < 1 ->
+    Error.raise_error (Error.Invalid_input { field = "max_iterations"; why = "must be >= 1" })
   | _ -> ());
   { max_seconds; max_iterations; started = Obs.Clock.now (); iterations = 0 }
 

@@ -17,7 +17,8 @@ type t
 val create : ?max_seconds:float -> ?max_iterations:int -> unit -> t
 (** Start a budget now (clock read at creation). [max_seconds] must be
     finite and positive; [max_iterations >= 1]. Omitted caps are
-    unlimited. Raises [Invalid_argument] on out-of-range caps. *)
+    unlimited. Raises {!Error.Error} ([Invalid_input]) on out-of-range
+    caps, like every other entry point of the robust layer. *)
 
 val unlimited : unit -> t
 (** A budget that never fires. *)

@@ -126,7 +126,8 @@ let kernel_shuffle_times =
 (* ---------------- matrix (gene-batch) faults ---------------- *)
 
 let choose_rows rng ~k ~rows =
-  if k < 0 || k > rows then invalid_arg "Robust.Fault.choose_rows: need 0 <= k <= rows";
+  if k < 0 || k > rows then
+    Error.raise_error (Error.Invalid_input { field = "k"; why = "need 0 <= k <= rows" });
   (* Partial Fisher-Yates over the index vector: k distinct draws. *)
   let idx = Array.init rows (fun i -> i) in
   for i = 0 to k - 1 do

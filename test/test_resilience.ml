@@ -138,7 +138,7 @@ let test_budget_rejects_bad_caps () =
   let expect_invalid label f =
     match f () with
     | (_ : Robust.Budget.t) -> Alcotest.failf "%s accepted" label
-    | exception Invalid_argument _ -> ()
+    | exception Robust.Error.Error (Robust.Error.Invalid_input _) -> ()
   in
   expect_invalid "max_iterations 0" (fun () -> Robust.Budget.create ~max_iterations:0 ());
   expect_invalid "negative seconds" (fun () -> Robust.Budget.create ~max_seconds:(-1.0) ());
