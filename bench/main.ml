@@ -1350,18 +1350,39 @@ let micro () =
             in
             fun () -> ignore (Deconv.Schedule.greedy candidate ~budget:6)));
       (* Guard on the observability layer: with no sink installed a span is
-         one branch + closure call, and a disabled counter is one branch.
-         If either climbs to microseconds, instrumentation has leaked real
-         work into the hot paths. *)
+         one branch + closure call, and a disabled counter, resource
+         sample or progress update is one branch. If any climbs to
+         microseconds, instrumentation has leaked real work into the hot
+         paths. The bodies are nanosecond-scale, so each run loops 10000
+         times (behind Sys.opaque_identity, or the loop folds away) to
+         lift the fixture well above timer noise — at 1000 iterations the
+         linear fit was unusable (r^2 ~ 0.6). *)
       Test.make ~name:"obs_span_disabled"
         (Staged.stage (fun () ->
-             for _ = 1 to 1000 do
-               Obs.Span.with_ "bench.noop" (fun sp -> Obs.Span.set_int sp "i" 0)
+             for _ = 1 to 10000 do
+               ignore
+                 (Sys.opaque_identity
+                    (Obs.Span.with_ "bench.noop" (fun sp -> Obs.Span.set_int sp "i" 0)))
              done));
       Test.make ~name:"obs_metrics_disabled"
         (Staged.stage (fun () ->
-             for _ = 1 to 1000 do
-               Obs.Metrics.incr "bench.noop"
+             for i = 1 to 10000 do
+               Obs.Metrics.incr "bench.noop";
+               ignore (Sys.opaque_identity i)
+             done));
+      Test.make ~name:"obs_sampler_tick_disabled"
+        (Staged.stage (fun () ->
+             for i = 1 to 10000 do
+               Obs.Resource.sample ();
+               ignore (Sys.opaque_identity i)
+             done));
+      (* One branch per call leaves even 10000 iterations inside timer
+         noise; 50000 brings the fit back above the r^2 gate. *)
+      Test.make ~name:"obs_progress_update_disabled"
+        (Staged.stage (fun () ->
+             for i = 1 to 50000 do
+               Obs.Progress.record_into None ~ok:true ();
+               ignore (Sys.opaque_identity i)
              done));
       (* Dispatch cost of the domain pool: 16 chunks of trivial work. The
          default pool is forced into existence before the suite (below) so

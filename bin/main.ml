@@ -10,7 +10,7 @@
      celltypes       print simulated cell-type fractions over time
      identifiability singular spectrum of the forward operator for a schedule
      schedule        D-optimal measurement times for a sampling budget
-     trace           summarize / convergence-plot / selfcheck observability traces
+     trace           summarize / convergence-plot / utilization / export / selfcheck traces
      bench           compare the newest benchmark records against a baseline
 *)
 
@@ -180,6 +180,37 @@ let trace_arg =
 let metrics_flag_arg =
   Arg.(value & flag
        & info [ "metrics" ] ~doc:"Print the counter/gauge/histogram summary after the run.")
+
+(* lib/parallel is zero-dependency by design and cannot see the obs layer;
+   chunk telemetry is injected from here instead. One sample per executed
+   chunk, emitted through the mutex-serialized sink — safe from worker
+   domains, and a no-op branch when tracing is off. *)
+let chunk_probe =
+  {
+    Parallel.Probe.now = Obs.Clock.now;
+    record =
+      (fun ~domain ~lo ~hi ~start_s ~stop_s ->
+        Obs.Export.emit
+          (Obs.Export.Sample
+             {
+               Obs.Export.s_kind = "chunk";
+               t_s = stop_s;
+               values =
+                 [
+                   ("domain", float_of_int domain);
+                   ("lo", float_of_int lo);
+                   ("hi", float_of_int hi);
+                   ("start", start_s);
+                   ("stop", stop_s);
+                 ];
+             }));
+  }
+
+let read_trace_file file =
+  let ic = open_in file in
+  let events = Obs.Export.read_jsonl ic in
+  close_in ic;
+  events
 
 let run_deconvolve input seed cells phi_bins knots mu_sst cycle linear lambda no_pos no_cons
     no_rate bootstrap kernel_file output =
@@ -640,7 +671,7 @@ let trace_convergence_cmd =
       else begin
         List.iter
           (fun ((series, span_id), cell) ->
-            let pts = List.rev !cell in
+            let pts : Obs.Export.point list = List.rev !cell in
             (* The plotted quantity: residual-like field of the series. *)
             let value_key =
               let has k =
@@ -721,6 +752,75 @@ let trace_convergence_cmd =
        ~doc:"Plot per-solve convergence curves (KKT residual, RL relative change) from a trace.")
     Term.(const run $ file_arg $ series_arg)
 
+(* ---------------- trace utilization ---------------- *)
+
+let trace_utilization_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.JSONL"
+             ~doc:"Trace written by `batch --trace` (or any traced run at --jobs > 1).")
+  in
+  let run file =
+    match read_trace_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      1
+    | Ok events -> (
+      match Obs.Utilization.of_events events with
+      | Some report ->
+        Obs.Utilization.output stdout report;
+        0
+      | None ->
+        Printf.printf
+          "no chunk telemetry in %s (record with `batch --trace FILE`; chunks are only \
+           emitted while a probe is installed)\n"
+          file;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "utilization"
+       ~doc:"Per-domain busy fractions and chunk-wall imbalance from a trace's chunk samples.")
+    Term.(const run $ file_arg)
+
+(* ---------------- trace export ---------------- *)
+
+let trace_export_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.JSONL" ~doc:"Trace written by `--trace`.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("chrome", `Chrome) ]) `Chrome
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format. $(b,chrome): Chrome trace-event JSON — open the result at \
+                   https://ui.perfetto.dev or chrome://tracing.")
+  in
+  let run file format output =
+    match read_trace_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      1
+    | Ok events -> (
+      match format with
+      | `Chrome -> (
+        match output with
+        | Some path ->
+          let oc = open_out path in
+          Obs.Chrome.output oc events;
+          close_out oc;
+          Printf.printf "wrote %d events as Chrome trace JSON to %s\n" (List.length events)
+            path;
+          0
+        | None ->
+          Obs.Chrome.output stdout events;
+          0))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Convert a JSONL trace to another format (currently Chrome trace-event JSON, \
+             openable in Perfetto).")
+    Term.(const run $ file_arg $ format_arg $ output_arg)
+
 let trace_selfcheck_cmd =
   let run () =
     let failures = ref [] in
@@ -744,6 +844,14 @@ let trace_selfcheck_cmd =
         Obs.Export.Metric
           { Obs.Export.metric_name = "m"; kind = "histogram";
             fields = [ ("count", 2.0); ("sum", 1e-300); ("max", Float.nan) ] };
+        Obs.Export.Sample
+          { Obs.Export.s_kind = "resource"; t_s = 1.5;
+            values = [ ("heap_words", 123456.0); ("rss_bytes", Float.nan) ] };
+        Obs.Export.Sample
+          { Obs.Export.s_kind = "chunk"; t_s = 2.0;
+            values =
+              [ ("domain", 3.0); ("lo", 0.0); ("hi", 64.0); ("start", 1.75);
+                ("stop", 2.0) ] };
       ]
     in
     List.iter
@@ -754,6 +862,38 @@ let trace_selfcheck_cmd =
         | Error msg -> check (Printf.sprintf "parse %s (%s)" line msg) false)
       events;
     check "reject garbage" (Result.is_error (Obs.Export.of_json "{\"ev\":\"span\""));
+    check "reject unknown event kind"
+      (Result.is_error (Obs.Export.of_json "{\"ev\":\"bogus\",\"t\":1.0}"));
+    (* 1b. Sample semantics: resource readings are well-formed, chunk
+       samples aggregate into a utilization report, and the ticker's
+       skip-missed-ticks policy holds under a manual clock. *)
+    check "resource read has gc fields"
+      (List.for_all
+         (fun k -> List.mem_assoc k (Obs.Resource.read ()))
+         [ "minor_words"; "promoted_words"; "major_collections"; "heap_words" ]);
+    let tk = Obs.Resource.ticker ~period:1.0 ~now:0.0 in
+    check "ticker not due early" (not (Obs.Resource.due tk ~now:0.5));
+    check "ticker due at period" (Obs.Resource.due tk ~now:1.0);
+    check "ticker skips missed ticks"
+      (Obs.Resource.due tk ~now:5.25 && not (Obs.Resource.due tk ~now:5.75));
+    (match
+       Obs.Utilization.of_events
+         [
+           Obs.Export.Sample
+             { Obs.Export.s_kind = "chunk"; t_s = 1.0;
+               values =
+                 [ ("domain", 0.0); ("lo", 0.0); ("hi", 8.0); ("start", 0.0);
+                   ("stop", 1.0) ] };
+         ]
+     with
+    | Some r ->
+      check "utilization busy fraction in (0,1]"
+        (List.for_all
+           (fun d ->
+             d.Obs.Utilization.busy_fraction > 0.0 && d.Obs.Utilization.busy_fraction <= 1.0)
+           r.Obs.Utilization.domains);
+      check "utilization imbalance finite" (Float.is_finite r.Obs.Utilization.imbalance)
+    | None -> check "utilization report from one chunk" false);
     (* 2. Nesting under a deterministic clock and a memory sink. *)
     let source, advance = Obs.Clock.manual () in
     let sink, recorded = Obs.Export.memory () in
@@ -788,13 +928,17 @@ let trace_selfcheck_cmd =
   in
   Cmd.v
     (Cmd.info "selfcheck"
-       ~doc:"Verify the trace schema: serialization round-trip and span nesting.")
+       ~doc:"Verify the trace schema: serialization round-trip (spans, metrics, samples), \
+             span nesting, ticker policy, and utilization aggregation.")
     Term.(const run $ const ())
 
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Inspect and validate observability traces.")
-    [ trace_summarize_cmd; trace_convergence_cmd; trace_selfcheck_cmd ]
+    [
+      trace_summarize_cmd; trace_convergence_cmd; trace_utilization_cmd; trace_export_cmd;
+      trace_selfcheck_cmd;
+    ]
 
 (* ---------------- bench ---------------- *)
 
@@ -839,6 +983,22 @@ let bench_compare_cmd =
             match c.Obs.Trajectory.verdict with Obs.Trajectory.Skipped _ -> false | _ -> true)
           comparisons
       in
+      (* A macro regression can only fire when macro records exist on both
+         sides; say so out loud instead of passing vacuously. *)
+      let macro_gated =
+        List.exists
+          (fun c ->
+            c.Obs.Trajectory.latest.Obs.Trajectory.kind = Obs.Trajectory.Macro
+            && match c.Obs.Trajectory.verdict with Obs.Trajectory.Skipped _ -> false | _ -> true)
+          gated
+      in
+      if not macro_gated then
+        Printf.printf
+          "warning: no macro records gated%s — the end-to-end timings are not covered by \
+           this comparison; run `bench macro` (and `bench macro_mt`) at both revisions\n"
+          (match baseline with
+          | Some rev -> Printf.sprintf " against baseline %s" rev
+          | None -> "");
       if Obs.Trajectory.has_regression comparisons then begin
         Printf.printf "regression detected (tolerance %.0f%%)\n" (100.0 *. tolerance);
         1
@@ -927,14 +1087,47 @@ let print_outcome outcome =
   if List.length failures > 10 then
     Printf.printf "  ... and %d more\n" (List.length failures - 10)
 
+let progress_flag_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Render a live status line on stderr while the batch runs: genes done, \
+                 items/sec over a sliding window, ETA, and per-class failure counts.")
+
+let sample_period_arg =
+  Arg.(value & opt float 1.0
+       & info [ "sample-period" ] ~docv:"SEC"
+           ~doc:"Resource-sampler heartbeat period for $(b,--trace) (GC counters + RSS as \
+                 {\"ev\":\"sample\"} records).")
+
 let run_batch jobs seed genes faults cells phi_bins knots mu_sst cycle linear timeout
-    max_iters checkpoint resume block no_keep_going metrics =
+    max_iters checkpoint resume block no_keep_going trace progress_flag sample_period metrics =
   apply_jobs jobs;
-  if metrics then Obs.Metrics.enable ();
+  if metrics || Option.is_some trace then Obs.Metrics.enable ();
   if resume && checkpoint = None then begin
     Printf.eprintf "error: --resume requires --checkpoint FILE\n";
     exit 2
   end;
+  (* Tracing turns on the whole live layer: JSONL sink, chunk probe on
+     the pool, and the resource-sampler domain. Teardown order matters —
+     sampler first (it emits), then probe, then the sink. *)
+  let trace_channel =
+    match trace with
+    | None -> None
+    | Some path ->
+      let oc = open_out path in
+      Obs.Export.install (Obs.Export.jsonl oc);
+      Parallel.Probe.install chunk_probe;
+      Some (path, oc, Obs.Resource.start ~period_s:sample_period ())
+  in
+  let progress =
+    if not progress_flag then None
+    else begin
+      let p = Obs.Progress.create ~total:genes () in
+      Obs.Progress.observe p (fun snap ->
+          Printf.eprintf "\r%-78s%!" (Obs.Progress.render snap));
+      Some p
+    end
+  in
   let params = params_of mu_sst cycle linear in
   let rng = Rng.create seed in
   let times = Dataio.Datasets.lv_measurement_times in
@@ -971,11 +1164,28 @@ let run_batch jobs seed genes faults cells phi_bins knots mu_sst cycle linear ti
     | Some path -> Some (Deconv.Checkpoint.create ~path)
   in
   let outcome =
-    Deconv.Batch.solve_all_result batch ~lambda:`Gcv
-      ?max_seconds:(if timeout > 0.0 then Some timeout else None)
-      ?max_iterations:(if max_iters > 0 then Some max_iters else None)
-      ?journal ~block ~measurements ()
+    Obs.Span.with_ "batch" (fun sp ->
+        Obs.Span.set_int sp "genes" genes;
+        Obs.Span.set_int sp "jobs" (Parallel.jobs ());
+        Deconv.Batch.solve_all_result batch ~lambda:`Gcv
+          ?max_seconds:(if timeout > 0.0 then Some timeout else None)
+          ?max_iterations:(if max_iters > 0 then Some max_iters else None)
+          ?journal ~block ?progress ~measurements ())
   in
+  (match progress with
+  | Some p ->
+    Obs.Progress.finish p;
+    prerr_newline ()
+  | None -> ());
+  (match trace_channel with
+  | Some (path, oc, sampler) ->
+    Obs.Resource.stop sampler;
+    Parallel.Probe.uninstall ();
+    List.iter Obs.Export.emit (Obs.Metrics.events ());
+    Obs.Export.uninstall ();
+    close_out oc;
+    Printf.printf "wrote observability trace to %s\n" path
+  | None -> ());
   print_outcome outcome;
   if metrics then Obs.Metrics.output stdout;
   if Deconv.Batch.Outcome.fully_ok outcome then 0
@@ -987,7 +1197,8 @@ let batch_cmd =
     Term.(
       const run_batch $ jobs_arg $ seed_arg $ genes_arg $ faults_arg $ cells_arg $ phi_bins_arg
       $ knots_arg $ mu_sst_arg $ cycle_arg $ linear_volume_arg $ timeout_arg $ max_iters_arg
-      $ checkpoint_arg $ resume_arg $ block_arg $ no_keep_going_arg $ metrics_flag_arg)
+      $ checkpoint_arg $ resume_arg $ block_arg $ no_keep_going_arg $ trace_arg
+      $ progress_flag_arg $ sample_period_arg $ metrics_flag_arg)
   in
   Cmd.v
     (Cmd.info "batch"

@@ -112,11 +112,15 @@ let mutator_names =
     "Buffer.add_substring"; "Buffer.clear"; "Buffer.reset"; "Buffer.truncate";
   ]
 
+(* Domain.spawn is in the list because a spawned body IS a task body:
+   the sampler domain in lib/obs and the pool workers in lib/parallel
+   are the audited spawners, and anything else (R8 already confines the
+   primitive) gets the same nondeterminism audit as a pool task. *)
 let fanout_names =
   [
     "Parallel.parallel_for"; "Parallel.parallel_map"; "Parallel.parallel_map_result";
     "Parallel.Pool.parallel_for"; "Parallel.Pool.parallel_map";
-    "Parallel.Pool.parallel_map_result";
+    "Parallel.Pool.parallel_map_result"; "Domain.spawn";
   ]
 
 let starts_with ~prefix s =

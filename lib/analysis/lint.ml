@@ -368,6 +368,36 @@ let check_r9 ctx e =
           "write final paths through Dataio.Atomic_file.write (temp file + fsync + rename)"
     | _ -> ()
 
+(* R13: raw GC/procfs introspection outside lib/obs — R7's shape, for
+   runtime state instead of clocks. Both the Gc identifiers and a string
+   literal naming a procfs path are flagged, so an ad-hoc
+   open_in "/proc/..." cannot slip past by avoiding the Gc module. *)
+let r13_gc_fns = [ "stat"; "quick_stat"; "counters"; "allocated_bytes" ]
+
+let check_r13 ctx e =
+  if not ctx.obs then
+    match e.pexp_desc with
+    | Pexp_ident { txt = Ldot (Lident "Gc", fn); _ }
+      when List.exists (String.equal fn) r13_gc_fns ->
+      report ctx ~loc:e.pexp_loc ~rule:"R13"
+        ~message:
+          (Printf.sprintf
+             "raw Gc.%s outside lib/obs: GC introspection is telemetry and belongs to the \
+              resource sampler"
+             fn)
+        ~hint:
+          "read Obs.Resource.read () (or emit Obs.Resource.sample ()); it picks the \
+           cheap quick_stat variant and owns the portability story"
+    | Pexp_constant (Pconst_string (s, _, _))
+      (* lint: allow R13 -- the rule's own prefix constant, not a procfs read *)
+      when String.length s >= 5 && String.equal (String.sub s 0 5) "/proc" ->
+      report ctx ~loc:e.pexp_loc ~rule:"R13"
+        ~message:"procfs path literal outside lib/obs: procfs reads are Linux-only telemetry"
+        ~hint:
+          "use Obs.Resource.read (), which reads procfs once with the \
+           unavailable-platform fallback"
+    | _ -> ()
+
 let check_r6 ctx f args =
   let is_ignore e =
     match ident_of e with
@@ -411,6 +441,7 @@ let make_iterator ctx =
     check_r7 ctx e;
     check_r8 ctx e;
     check_r9 ctx e;
+    check_r13 ctx e;
     match e.pexp_desc with
     | Pexp_array _ | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
       let saved = ctx.in_data in

@@ -172,6 +172,20 @@ let all =
          Numerics.Rng substreams passed as arguments are, by construction, \
          not ambient and do not trip this rule.";
     };
+    {
+      id = "R13";
+      title = "raw GC/procfs introspection outside lib/obs";
+      scope = Except_obs;
+      description =
+        "Gc.stat, Gc.quick_stat, Gc.counters, Gc.allocated_bytes or a \
+         \"/proc\" path literal referenced outside lib/obs. Runtime \
+         introspection is telemetry and belongs to the resource sampler \
+         (Obs.Resource): Gc.stat forces a full major collection wherever it \
+         is called, per-domain counters silently measure the wrong domain, \
+         and procfs reads are Linux-only — the sampler centralizes the cheap \
+         variants and the portability fallback exactly once (same shape as \
+         R7's clock rule).";
+    };
   ]
 
 let normalize_id id =

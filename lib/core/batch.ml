@@ -145,7 +145,7 @@ module Outcome = struct
 end
 
 let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?journal
-    ?(block = 64) ?on_block ~measurements () =
+    ?(block = 64) ?on_block ?progress ~measurements () =
   if block < 1 then
     Robust.Error.raise_error
       (Robust.Error.Invalid_input { field = "block"; why = "must be >= 1" });
@@ -175,6 +175,21 @@ let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?jo
     Array.of_list
       (List.filter (fun g -> outcomes.(g) = None) (List.init genes (fun g -> g)))
   in
+  (match progress with
+  | Some p -> Obs.Progress.record_replayed p !replayed
+  | None -> ());
+  (* Fires on worker domains as genes finish; Progress is mutex-guarded
+     and the callback only tallies, so determinism is untouched. *)
+  let on_result _ res =
+    match res with
+    | Ok (Ok _) -> Obs.Progress.record_into progress ~ok:true ()
+    | Ok (Error e) ->
+      Obs.Progress.record_into progress ~cls:(Robust.Error.class_name e) ~ok:false ()
+    | Error exn ->
+      Obs.Progress.record_into progress
+        ~cls:(Robust.Error.class_name (Robust.Error.of_exn exn))
+        ~ok:false ()
+  in
   let done_ = ref !replayed in
   let pos = ref 0 in
   while !pos < Array.length pending do
@@ -187,7 +202,7 @@ let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?jo
        per-gene results depend on neither the fan-out nor the block
        boundaries. *)
     let results =
-      Parallel.parallel_map_result ~chunk:1 ~n:(Array.length idx) (fun j ->
+      Parallel.parallel_map_result ~chunk:1 ~on_result ~n:(Array.length idx) (fun j ->
           let g = idx.(j) in
           let budget =
             if max_seconds = None && max_iterations = None then None

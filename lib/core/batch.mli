@@ -100,6 +100,7 @@ val solve_all_result :
   ?journal:Checkpoint.t ->
   ?block:int ->
   ?on_block:(done_:int -> total:int -> unit) ->
+  ?progress:Obs.Progress.t ->
   measurements:Mat.t ->
   unit ->
   Outcome.t
@@ -119,7 +120,12 @@ val solve_all_result :
     [block] genes (default 64), with one atomic, fsync'd journal flush
     per block. [on_block ~done_ ~total] fires after each flush — the
     chaos harness's mid-batch crash hook; an exception it raises
-    propagates (it is deliberately {e not} isolated). *)
+    propagates (it is deliberately {e not} isolated).
+
+    [progress] receives one {!Obs.Progress.record} per solved gene (with
+    its failure class) as completions land on worker domains, plus one
+    {!Obs.Progress.record_replayed} for journal replays up front — the
+    live [--progress] feed. Aggregation only; results are unaffected. *)
 
 val phases : t -> Vec.t
 

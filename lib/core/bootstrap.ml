@@ -55,8 +55,8 @@ type outcome = {
   attempted : int;
 }
 
-let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterations problem
-    (estimate : Solver.estimate) ~rng =
+let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterations ?progress
+    problem (estimate : Solver.estimate) ~rng =
   assert (replicates >= 10);
   assert (level > 0.0 && level < 1.0);
   let g = problem.Problem.measurements in
@@ -72,8 +72,18 @@ let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterati
   for b = 0 to replicates - 1 do
     rngs.(b) <- Rng.split rng
   done;
+  (* Same aggregation-only contract as Batch: fires on worker domains,
+     Progress is mutex-guarded, replicate profiles are unaffected. *)
+  let on_result _ res =
+    match res with
+    | Ok _ -> Obs.Progress.record_into progress ~ok:true ()
+    | Error exn ->
+      Obs.Progress.record_into progress
+        ~cls:(Robust.Error.class_name (Robust.Error.of_exn exn))
+        ~ok:false ()
+  in
   let results =
-    Parallel.parallel_map_result ~n:replicates (fun b ->
+    Parallel.parallel_map_result ~on_result ~n:replicates (fun b ->
         let brng = rngs.(b) in
         let resampled = Array.make n_m 0.0 in
         for m = 0 to n_m - 1 do

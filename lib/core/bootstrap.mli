@@ -43,6 +43,7 @@ val residual_result :
   ?level:float ->
   ?max_seconds:float ->
   ?max_iterations:int ->
+  ?progress:Obs.Progress.t ->
   Problem.t ->
   Solver.estimate ->
   rng:Rng.t ->
@@ -55,7 +56,9 @@ val residual_result :
     replicate's profile is bit-identical to the all-or-nothing path.
     [max_seconds]/[max_iterations] give each replicate a fresh
     {!Robust.Budget}. Failed-replicate counts are published as the
-    [bootstrap.replicates_failed] metric. *)
+    [bootstrap.replicates_failed] metric. [progress] receives one
+    {!Obs.Progress.record} per completed replicate (aggregation only;
+    profiles are unaffected). *)
 
 val width : bands -> Vec.t
 (** Upper − lower band width per phase point. *)

@@ -1,0 +1,129 @@
+(* Chrome trace-event JSON (the format Perfetto and chrome://tracing
+   open). Mapping:
+   - span            -> complete event (ph "X"), dur = stop - start
+   - chunk sample    -> complete event on the worker's tid
+   - resource sample -> one counter event (ph "C") per field, so each
+     resource gets its own track
+   - point           -> instant event (ph "i") at the owning span's start
+     (points carry no timestamp of their own; iteration order is kept in
+     args)
+   - metric          -> skipped (no timestamp to place it at)
+
+   Timestamps are microseconds relative to the earliest event in the
+   stream, which keeps them readable and well inside double precision. *)
+
+let span_ts (s : Export.span) = s.Export.start_s
+
+let sample_ts (s : Export.sample) =
+  (* Chunk samples carry their true interval in fields; "t" is emission
+     time. Prefer the interval start so bars land where work happened. *)
+  match List.assoc_opt "start" s.Export.values with
+  | Some start when Float.is_finite start -> start
+  | _ -> s.Export.t_s
+
+let base_ts events =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Export.Span s -> Float.min acc (span_ts s)
+      | Export.Sample s -> Float.min acc (sample_ts s)
+      | Export.Metric _ | Export.Point _ -> acc)
+    Float.infinity events
+
+(* Spans only tag their per-domain roots with a "domain" attribute;
+   children inherit the thread lane from their parent. *)
+let span_tid spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (s : Export.span) -> Hashtbl.replace by_id s.Export.id s) spans;
+  let memo = Hashtbl.create 64 in
+  let rec tid (s : Export.span) =
+    match Hashtbl.find_opt memo s.Export.id with
+    | Some t -> t
+    | None ->
+      let t =
+        match List.assoc_opt "domain" s.Export.attrs with
+        | Some (Export.Int d) -> d
+        | _ -> (
+          match s.Export.parent with
+          | Some p -> (
+            match Hashtbl.find_opt by_id p with Some parent -> tid parent | None -> 0)
+          | None -> 0)
+      in
+      Hashtbl.replace memo s.Export.id t;
+      t
+  in
+  tid
+
+let usec base t = Export.float_json (1e6 *. (t -. base))
+
+let arg_json = function
+  | Export.Float f -> Export.float_json f
+  | Export.Int i -> string_of_int i
+  | Export.Str s -> Printf.sprintf "\"%s\"" (Export.json_escape s)
+  | Export.Bool b -> if b then "true" else "false"
+
+let args_json kvs render =
+  String.concat ","
+    (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (Export.json_escape k) (render v)) kvs)
+
+let output oc events =
+  let spans = List.filter_map (function Export.Span s -> Some s | _ -> None) events in
+  let tid = span_tid spans in
+  let base = base_ts events in
+  let base = if Float.is_finite base then base else 0.0 in
+  let first = ref true in
+  let emit line =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc line
+  in
+  output_string oc "{\"traceEvents\":[\n";
+  List.iter
+    (fun ev ->
+      match ev with
+      | Export.Span s ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+             (Export.json_escape s.Export.name)
+             (usec base s.Export.start_s)
+             (Export.float_json (1e6 *. Float.max 0.0 (s.Export.stop_s -. s.Export.start_s)))
+             (tid s)
+             (args_json s.Export.attrs arg_json))
+      | Export.Sample s when String.equal s.Export.s_kind "chunk" -> (
+        match Utilization.chunk_of_sample s with
+        | Some c ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"chunk [%d,%d)\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"lo\":%d,\"hi\":%d}}"
+               c.Utilization.lo c.Utilization.hi
+               (usec base c.Utilization.start_s)
+               (Export.float_json
+                  (1e6 *. Float.max 0.0 (c.Utilization.stop_s -. c.Utilization.start_s)))
+               c.Utilization.domain c.Utilization.lo c.Utilization.hi)
+        | None -> ())
+      | Export.Sample s ->
+        List.iter
+          (fun (k, v) ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s.%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"%s\":%s}}"
+                 (Export.json_escape s.Export.s_kind) (Export.json_escape k)
+                 (usec base s.Export.t_s) (Export.json_escape k) (Export.float_json v)))
+          s.Export.values
+      | Export.Point p -> (
+        let owner =
+          Option.bind p.Export.span_id (fun id ->
+              List.find_opt (fun s -> s.Export.id = id) spans)
+        in
+        match owner with
+        | Some s ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s #%d\",\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{%s}}"
+               (Export.json_escape p.Export.series) p.Export.iter
+               (usec base s.Export.start_s) (tid s)
+               (args_json p.Export.values Export.float_json))
+        | None -> ())
+      | Export.Metric _ -> ())
+    events;
+  output_string oc "\n]}\n"

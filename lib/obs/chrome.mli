@@ -1,0 +1,13 @@
+(** Chrome trace-event export.
+
+    Converts a recorded {!Export} event stream into Chrome trace-event
+    JSON ([{"traceEvents":[...]}]) openable in Perfetto or
+    chrome://tracing, with zero dependencies: spans and pool chunks
+    become complete events ([ph "X"]) on per-domain thread lanes,
+    resource samples become counter tracks ([ph "C"]), convergence
+    points become instants ([ph "i"]) at their owning span, and
+    timestamps are microseconds relative to the earliest event. Behind
+    [deconv-cli trace export --format chrome]. *)
+
+val output : out_channel -> Export.event list -> unit
+(** Write the whole trace document (trailing newline included). *)

@@ -22,7 +22,9 @@ type point = {
   values : (string * float) list;
 }
 
-type event = Span of span | Metric of metric | Point of point
+type sample = { s_kind : string; t_s : float; values : (string * float) list }
+
+type event = Span of span | Metric of metric | Point of point | Sample of sample
 
 (* ---------------- sinks ---------------- *)
 
@@ -115,6 +117,10 @@ let to_json = function
       (match p.span_id with Some id -> string_of_int id | None -> "null")
       p.iter
       (pairs_json float_json p.values)
+  | Sample s ->
+    Printf.sprintf "{\"ev\":\"sample\",\"kind\":\"%s\",\"t\":%s,\"fields\":{%s}}"
+      (escape s.s_kind) (float_json s.t_s)
+      (pairs_json float_json s.values)
 
 let jsonl oc =
   {
@@ -400,6 +406,14 @@ let event_of_document doc =
           series = as_string "series" (field obj "series");
           span_id;
           iter = as_int "iter" (field obj "iter");
+          values =
+            List.map (fun (k, v) -> (k, as_float k v)) (as_obj "fields" (field obj "fields"));
+        }
+    | "sample" ->
+      Sample
+        {
+          s_kind = as_string "kind" (field obj "kind");
+          t_s = as_float "t" (field obj "t");
           values =
             List.map (fun (k, v) -> (k, as_float k v)) (as_obj "fields" (field obj "fields"));
         }

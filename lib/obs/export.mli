@@ -48,7 +48,18 @@ type point = {
 (** One sample of an iterative process: convergence telemetry. Serialized
     as [{"ev":"point","series":...,"span":...,"iter":...,"fields":{...}}]. *)
 
-type event = Span of span | Metric of metric | Point of point
+type sample = {
+  s_kind : string;
+      (** what was sampled: ["resource"] for the {!Resource} heartbeat,
+          ["chunk"] for pool chunk timings *)
+  t_s : float;  (** [Clock.now] when the sample was taken *)
+  values : (string * float) list;
+}
+(** One observation of ambient runtime state, outside any span: resource
+    heartbeats and pool chunk telemetry. Serialized as
+    [{"ev":"sample","kind":...,"t":...,"fields":{...}}]. *)
+
+type event = Span of span | Metric of metric | Point of point | Sample of sample
 
 (** {1 Sinks} *)
 

@@ -1,0 +1,181 @@
+(* All state lives behind one mutex: completions arrive concurrently from
+   pool worker domains (via the Batch/Bootstrap completion callbacks), and
+   rule R8 keeps raw Mutex use out of bin/, so the rate-limited render
+   throttle lives here too. The observer callback runs *outside* the lock
+   on a snapshot — it may write to a channel and must not be able to
+   deadlock a worker against the aggregator. *)
+type t = {
+  total : int;
+  window_s : float;
+  lock : Mutex.t;
+  started_s : float;
+  mutable done_ : int;
+  mutable ok : int;
+  mutable failed : int;
+  mutable replayed : int;
+  classes : (string, int) Hashtbl.t;
+  mutable recent : float list;  (* completion times, newest first *)
+  mutable observer : (float * (snap -> unit)) option;  (* min interval, callback *)
+  mutable last_notify_s : float;
+}
+
+and snap = {
+  s_total : int;
+  s_done : int;
+  s_ok : int;
+  s_failed : int;
+  s_replayed : int;
+  s_elapsed_s : float;
+  s_rate : float;
+  s_eta_s : float;
+  s_classes : (string * int) list;
+}
+
+let create ?(window_s = 10.0) ~total () =
+  if total < 0 then invalid_arg "Obs.Progress.create: total must be >= 0";
+  if not (Float.is_finite window_s && window_s > 0.0) then
+    invalid_arg "Obs.Progress.create: window_s must be finite and > 0";
+  {
+    total;
+    window_s;
+    lock = Mutex.create ();
+    started_s = Clock.now ();
+    done_ = 0;
+    ok = 0;
+    failed = 0;
+    replayed = 0;
+    classes = Hashtbl.create 8;
+    recent = [];
+    observer = None;
+    last_notify_s = neg_infinity;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Sliding-window throughput. The window holds completion timestamps no
+   older than [window_s]; the rate is their count over the window span
+   actually covered (elapsed time when shorter than the window). When the
+   window is empty but work has completed — completions slower than the
+   window — fall back to the overall average so the ETA degrades to the
+   long-run estimate instead of stalling at "unknown". *)
+let snapshot_locked t ~now =
+  let elapsed = Float.max 0.0 (now -. t.started_s) in
+  let cutoff = now -. t.window_s in
+  t.recent <- List.filter (fun ts -> ts >= cutoff) t.recent;
+  let in_window = List.length t.recent in
+  let span = Float.min t.window_s elapsed in
+  let rate =
+    if in_window > 0 && span > 0.0 then float_of_int in_window /. span
+    else if t.done_ > 0 && elapsed > 0.0 then float_of_int t.done_ /. elapsed
+    else 0.0
+  in
+  let remaining = t.total - t.done_ in
+  let eta =
+    if remaining <= 0 then 0.0
+    else if rate > 0.0 then float_of_int remaining /. rate
+    else Float.nan
+  in
+  {
+    s_total = t.total;
+    s_done = t.done_;
+    s_ok = t.ok;
+    s_failed = t.failed;
+    s_replayed = t.replayed;
+    s_elapsed_s = elapsed;
+    s_rate = rate;
+    s_eta_s = eta;
+    s_classes =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) t.classes []);
+  }
+
+let snapshot t = locked t (fun () -> snapshot_locked t ~now:(Clock.now ()))
+
+let notify_maybe t ~now ~final =
+  let fire =
+    locked t (fun () ->
+        match t.observer with
+        | Some (min_interval, f)
+          when final || now -. t.last_notify_s >= min_interval || t.done_ >= t.total ->
+          t.last_notify_s <- now;
+          Some (f, snapshot_locked t ~now)
+        | _ -> None)
+  in
+  match fire with Some (f, snap) -> f snap | None -> ()
+
+let record t ?cls ~ok () =
+  let now = Clock.now () in
+  locked t (fun () ->
+      t.done_ <- t.done_ + 1;
+      if ok then t.ok <- t.ok + 1 else t.failed <- t.failed + 1;
+      (match cls with
+      | Some c ->
+        Hashtbl.replace t.classes c (1 + Option.value ~default:0 (Hashtbl.find_opt t.classes c))
+      | None -> ());
+      t.recent <- now :: t.recent);
+  notify_maybe t ~now ~final:false
+
+let record_replayed t n =
+  if n > 0 then begin
+    locked t (fun () ->
+        t.done_ <- t.done_ + n;
+        t.ok <- t.ok + n;
+        t.replayed <- t.replayed + n);
+    notify_maybe t ~now:(Clock.now ()) ~final:false
+  end
+
+let record_into t ?cls ~ok () =
+  match t with None -> () | Some t -> record t ?cls ~ok ()
+
+let observe ?(min_interval_s = 0.2) t f =
+  locked t (fun () -> t.observer <- Some (min_interval_s, f))
+
+let finish t = notify_maybe t ~now:(Clock.now ()) ~final:true
+
+(* ---------------- rendering ---------------- *)
+
+let format_eta s =
+  if Float.is_nan s then "--:--"
+  else begin
+    let s = int_of_float (Float.ceil s) in
+    if s >= 3600 then Printf.sprintf "%d:%02d:%02d" (s / 3600) (s mod 3600 / 60) (s mod 60)
+    else Printf.sprintf "%02d:%02d" (s / 60) (s mod 60)
+  end
+
+let render snap =
+  let pct =
+    if snap.s_total = 0 then 100.0
+    else 100.0 *. float_of_int snap.s_done /. float_of_int snap.s_total
+  in
+  let failures =
+    if snap.s_failed = 0 then ""
+    else
+      Printf.sprintf "  failed %d%s" snap.s_failed
+        (match snap.s_classes with
+        | [] -> ""
+        | classes ->
+          Printf.sprintf " (%s)"
+            (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s:%d" c n) classes)))
+  in
+  Printf.sprintf "%d/%d (%.0f%%)  %.1f items/s  eta %s%s" snap.s_done snap.s_total pct
+    snap.s_rate (format_eta snap.s_eta_s) failures
+
+let to_json snap =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"total\":%d,\"done\":%d,\"ok\":%d,\"failed\":%d,\"replayed\":%d,\"elapsed_s\":%s,\"rate\":%s,\"eta_s\":%s,\"failures\":{"
+       snap.s_total snap.s_done snap.s_ok snap.s_failed snap.s_replayed
+       (Export.float_json snap.s_elapsed_s)
+       (Export.float_json snap.s_rate)
+       (Export.float_json snap.s_eta_s));
+  List.iteri
+    (fun i (cls, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Export.json_escape cls) n))
+    snap.s_classes;
+  Buffer.add_string b "}}";
+  Buffer.contents b

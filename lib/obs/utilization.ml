@@ -1,0 +1,123 @@
+type chunk = { domain : int; lo : int; hi : int; start_s : float; stop_s : float }
+
+type domain_stat = {
+  domain : int;
+  chunks : int;
+  items : int;
+  busy_s : float;
+  busy_fraction : float;
+}
+
+type report = {
+  domains : domain_stat list;
+  chunk_count : int;
+  span_s : float;
+  mean_chunk_s : float;
+  max_chunk_s : float;
+  imbalance : float;
+}
+
+let field values key =
+  match List.assoc_opt key values with
+  | Some v -> v
+  | None -> Float.nan
+
+let chunk_of_sample (s : Export.sample) =
+  if not (String.equal s.Export.s_kind "chunk") then None
+  else begin
+    let f = field s.Export.values in
+    let domain = f "domain" and lo = f "lo" and hi = f "hi" in
+    let start_s = f "start" and stop_s = f "stop" in
+    if
+      Float.is_finite domain && Float.is_finite lo && Float.is_finite hi
+      && Float.is_finite start_s && Float.is_finite stop_s
+    then
+      Some
+        {
+          domain = int_of_float domain;
+          lo = int_of_float lo;
+          hi = int_of_float hi;
+          start_s;
+          stop_s;
+        }
+    else None
+  end
+
+let chunks_of_events events =
+  List.filter_map
+    (function Export.Sample s -> chunk_of_sample s | _ -> None)
+    events
+
+let wall c = Float.max 0.0 (c.stop_s -. c.start_s)
+
+(* Busy fraction is per-domain busy time over the fan-out's own span
+   (earliest chunk start to latest chunk stop), not the process lifetime:
+   it answers "while parallel work was in flight, what share of it did
+   this domain carry". Chunks on one domain never overlap (each worker
+   drains sequentially), so summing walls is exact. *)
+let of_chunks chunks =
+  match chunks with
+  | [] -> None
+  | first :: _ ->
+    let t0 = List.fold_left (fun acc c -> Float.min acc c.start_s) first.start_s chunks in
+    let t1 = List.fold_left (fun acc c -> Float.max acc c.stop_s) first.stop_s chunks in
+    let span = Float.max 0.0 (t1 -. t0) in
+    let per_domain : (int, int ref * int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (c : chunk) ->
+        let n, items, busy =
+          match Hashtbl.find_opt per_domain c.domain with
+          | Some r -> r
+          | None ->
+            let r = (ref 0, ref 0, ref 0.0) in
+            Hashtbl.replace per_domain c.domain r;
+            r
+        in
+        incr n;
+        items := !items + Stdlib.max 0 (c.hi - c.lo);
+        busy := !busy +. wall c)
+      chunks;
+    let domains =
+      List.sort
+        (fun (a : domain_stat) (b : domain_stat) -> Int.compare a.domain b.domain)
+        (Hashtbl.fold
+           (fun domain (n, items, busy) acc ->
+             {
+               domain;
+               chunks = !n;
+               items = !items;
+               busy_s = !busy;
+               (* A zero-width span (instantaneous chunks under a mock
+                  clock) still counts as fully busy: the domain did all
+                  the work there was. *)
+               busy_fraction = (if span > 0.0 then Float.min 1.0 (!busy /. span) else 1.0);
+             }
+             :: acc)
+           per_domain [])
+    in
+    let walls = List.map wall chunks in
+    let n = float_of_int (List.length walls) in
+    let mean = List.fold_left ( +. ) 0.0 walls /. n in
+    let max_w = List.fold_left Float.max 0.0 walls in
+    Some
+      {
+        domains;
+        chunk_count = List.length chunks;
+        span_s = span;
+        mean_chunk_s = mean;
+        max_chunk_s = max_w;
+        imbalance = (if mean > 0.0 then max_w /. mean else 1.0);
+      }
+
+let of_events events = of_chunks (chunks_of_events events)
+
+let output oc r =
+  Printf.fprintf oc "pool utilization: %d chunks over %.3f s wall\n" r.chunk_count r.span_s;
+  Printf.fprintf oc "  %-8s %7s %8s %12s %6s\n" "domain" "chunks" "items" "busy" "util";
+  List.iter
+    (fun d ->
+      Printf.fprintf oc "  %-8d %6dx %8d %10.3f s %5.1f%%\n" d.domain d.chunks d.items d.busy_s
+        (100.0 *. d.busy_fraction))
+    r.domains;
+  Printf.fprintf oc "  chunk wall: mean %.3f ms, max %.3f ms, imbalance (max/mean) %.2f\n"
+    (1e3 *. r.mean_chunk_s) (1e3 *. r.max_chunk_s) r.imbalance

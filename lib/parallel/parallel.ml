@@ -13,6 +13,51 @@
    One job runs at a time. Workers and the submitting domain claim chunks
    from a shared counter under the pool mutex and execute them unlocked. *)
 
+(* This library is deliberately zero-dependency, and rule R7 keeps raw
+   clocks out of it — so chunk telemetry is injected, not imported: the
+   CLI installs a probe built from Obs.Clock/Obs.Export when tracing is
+   on. With no probe installed every chunk costs one extra load+branch.
+   Reads happen on worker domains against a plain ref: installation must
+   precede the fan-out (the CLI installs before any job is submitted),
+   and the probe's callbacks must be domain-safe and must not raise — a
+   raise here would be indistinguishable from a chunk failure. *)
+module Probe = struct
+  type t = {
+    now : unit -> float;
+    record : domain:int -> lo:int -> hi:int -> start_s:float -> stop_s:float -> unit;
+  }
+
+  let active : t option ref = ref None
+
+  let install p = active := Some p
+  let uninstall () = active := None
+  let installed () = Option.is_some !active
+end
+
+(* Only the outermost chunk on a domain is recorded: a nested submission
+   (a gene's inner λ sweep finding the pool busy) re-enters run_inline
+   *inside* its parent chunk, and timing those too would double-count the
+   domain's busy time — per-domain busy fractions must stay <= 1. *)
+let in_probed_chunk : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let probe_chunk body ~lo ~hi =
+  match !Probe.active with
+  | None -> body ~lo ~hi
+  | Some p ->
+    let nested = Domain.DLS.get in_probed_chunk in
+    if !nested then body ~lo ~hi
+    else begin
+      nested := true;
+      let start_s = p.Probe.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          nested := false;
+          p.Probe.record
+            ~domain:(Domain.self () :> int)
+            ~lo ~hi ~start_s ~stop_s:(p.Probe.now ()))
+        (fun () -> body ~lo ~hi)
+    end
+
 module Pool = struct
   type job = {
     body : lo:int -> hi:int -> unit;
@@ -70,7 +115,7 @@ module Pool = struct
     while !c * chunk < n do
       let lo = !c * chunk in
       let hi = Stdlib.min n (lo + chunk) in
-      body ~lo ~hi;
+      probe_chunk body ~lo ~hi;
       incr c
     done
 
@@ -84,7 +129,7 @@ module Pool = struct
       let failure =
         let lo = c * job.chunk in
         let hi = Stdlib.min job.n (lo + job.chunk) in
-        match job.body ~lo ~hi with
+        match probe_chunk job.body ~lo ~hi with
         | () -> None
         (* lint: allow R2 -- captured with its backtrace and re-raised by
            [parallel_for] in the submitting domain once the job drains *)
@@ -177,19 +222,27 @@ module Pool = struct
       Array.map (function Some v -> v | None -> assert false) out
     end
 
-  let parallel_map_result t ?chunk ~n f =
+  let parallel_map_result t ?chunk ?on_result ~n f =
     if n <= 0 then [||]
     else begin
       let out = Array.make n None in
       parallel_for t ?chunk ~n (fun ~lo ~hi ->
           for i = lo to hi - 1 do
-            out.(i) <-
-              (match f i with
-              | v -> Some (Ok v)
+            let r =
+              match f i with
+              | v -> Ok v
               (* lint: allow R2 -- per-index fault isolation is this
                  function's contract: the exception is returned in slot i
                  as a value, never swallowed *)
-              | exception e -> Some (Error e))
+              | exception e -> Error e
+            in
+            out.(i) <- Some r;
+            (* Fires on the executing domain, concurrently with other
+               chunks: the callback must be domain-safe and must not
+               raise (a raise would read as a chunk failure and cancel
+               the job). Pure aggregation only — results are already
+               committed to their slots. *)
+            match on_result with Some g -> g i r | None -> ()
           done);
       Array.map (function Some v -> v | None -> assert false) out
     end
@@ -282,4 +335,5 @@ let () =
 let parallel_for ?chunk ~n body = Pool.parallel_for (default ()) ?chunk ~n body
 let parallel_map ?chunk ~n f = Pool.parallel_map (default ()) ?chunk ~n f
 
-let parallel_map_result ?chunk ~n f = Pool.parallel_map_result (default ()) ?chunk ~n f
+let parallel_map_result ?chunk ?on_result ~n f =
+  Pool.parallel_map_result (default ()) ?chunk ?on_result ~n f

@@ -21,6 +21,28 @@
     re-raised in the submitting domain once in-flight chunks have
     drained. The pool stays healthy and reusable afterwards. *)
 
+(** Injected chunk telemetry. This library is zero-dependency (and rule
+    R7 keeps raw clocks out of it), so it cannot time its own chunks;
+    instead the CLI installs a probe built from [Obs.Clock] /
+    [Obs.Export] when tracing is on, and every executed chunk — pooled
+    or inline — is bracketed with [now] readings and reported through
+    [record]. With no probe installed a chunk costs one extra
+    load+branch. [install]/[uninstall] must happen while no job is in
+    flight; the callbacks run on worker domains concurrently and must be
+    domain-safe and non-raising (a raise here is indistinguishable from
+    a chunk failure). *)
+module Probe : sig
+  type t = {
+    now : unit -> float;
+    record : domain:int -> lo:int -> hi:int -> start_s:float -> stop_s:float -> unit;
+  }
+
+  val install : t -> unit
+  val uninstall : unit -> unit
+
+  val installed : unit -> bool
+end
+
 module Pool : sig
   type t
 
@@ -50,13 +72,24 @@ module Pool : sig
       applications distributed like {!parallel_for}. *)
 
   val parallel_map_result :
-    t -> ?chunk:int -> n:int -> (int -> 'a) -> ('a, exn) result array
+    t ->
+    ?chunk:int ->
+    ?on_result:(int -> ('a, exn) result -> unit) ->
+    n:int ->
+    (int -> 'a) ->
+    ('a, exn) result array
   (** Fault-isolated {!parallel_map}: an exception raised by [f i] is
       captured into slot [i] as [Error exn] instead of cancelling the
       job — every index is always attempted, so one pathological item
       cannot discard the work of its siblings (the genome-scale batch
       contract). The chunk schedule, and therefore any per-chunk RNG
-      substream derivation, is identical to {!parallel_map}'s. *)
+      substream derivation, is identical to {!parallel_map}'s.
+
+      [on_result], when given, fires once per index immediately after
+      that index's result is committed, on whichever domain executed it
+      — concurrently with other indices. It exists for progress
+      aggregation ({!Obs.Progress}): it must be domain-safe, must not
+      raise, and must not influence results. *)
 
   val busy : t -> bool
   (** Whether a job is currently executing on this pool. *)
@@ -84,5 +117,10 @@ val parallel_for : ?chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
 val parallel_map : ?chunk:int -> n:int -> (int -> 'a) -> 'a array
 (** {!Pool.parallel_map} on {!default}. *)
 
-val parallel_map_result : ?chunk:int -> n:int -> (int -> 'a) -> ('a, exn) result array
+val parallel_map_result :
+  ?chunk:int ->
+  ?on_result:(int -> ('a, exn) result -> unit) ->
+  n:int ->
+  (int -> 'a) ->
+  ('a, exn) result array
 (** {!Pool.parallel_map_result} on {!default}. *)

@@ -248,6 +248,39 @@ let test_r11_task_capabilities () =
   Alcotest.(check (list string)) "task-local refs are not global state" []
     (rules_of (check_result local_state))
 
+(* Domain.spawn is a fan-out: its body gets the same R11 audit as a pool
+   task — the sampler domain in lib/obs is the audited exception. *)
+let test_r11_domain_spawn () =
+  let spawned_rng =
+    [
+      ( "scratch.ml",
+        "let go () = Domain.spawn (fun () -> Random.float 1.0)" );
+    ]
+  in
+  Alcotest.(check (list string)) "ambient RNG inside a spawned body" [ "R11" ]
+    (rules_of (check_result spawned_rng));
+  let spawned_mutation =
+    [
+      ( "scratch.ml",
+        "let hits = ref 0\n\
+         let go () = Domain.spawn (fun () -> incr hits)" );
+    ]
+  in
+  Alcotest.(check (list string)) "global mutation inside a spawned body" [ "R11" ]
+    (rules_of (check_result spawned_mutation));
+  let clean = [ ("scratch.ml", "let go x = Domain.spawn (fun () -> x * 2)") ] in
+  Alcotest.(check (list string)) "a pure spawned body is silent" []
+    (rules_of (check_result clean));
+  let audited =
+    [
+      ( "lib/obs/sampler.ml",
+        "let tick = ref 0\n\
+         let go () = Domain.spawn (fun () -> incr tick)" );
+    ]
+  in
+  Alcotest.(check (list string)) "lib/obs spawns are the audited exception" []
+    (rules_of (check_result audited))
+
 let test_r12_numeric_core_purity () =
   let impure_rng = [ ("lib/numerics/kern.ml", "let noisy () = Random.float 1.0") ] in
   Alcotest.(check (list string)) "ambient RNG in the numeric core" [ "R12" ]
@@ -443,6 +476,7 @@ let tests =
         case "r10 positive and negative" test_r10_positive_and_negative;
         case "r10 transitive origin" test_r10_transitive;
         case "r11 task capabilities" test_r11_task_capabilities;
+        case "r11 domain spawn" test_r11_domain_spawn;
         case "r12 numeric-core purity" test_r12_numeric_core_purity;
         case "suppression and disable" test_check_suppression_and_disable;
         case "seeded defect hits R10 and R11" test_seeded_defect_file;

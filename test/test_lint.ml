@@ -167,6 +167,33 @@ let test_r9_negative () =
   check_rules "a suppression with a reason still works" [] ~path:"lib/core/scratch.ml"
     "let f tmp = open_out tmp (* lint: allow R9 -- same-dir temp file, renamed by caller *)"
 
+(* R13: raw GC/procfs introspection outside lib/obs. *)
+
+let test_r13_positive () =
+  check_rules "Gc.stat in library code" [ "R13" ] ~path:"lib/core/scratch.ml"
+    "let words () = (Gc.stat ()).Gc.heap_words";
+  check_rules "Gc.quick_stat" [ "R13" ] ~path:"lib/core/scratch.ml"
+    "let minor () = (Gc.quick_stat ()).Gc.minor_words";
+  check_rules "bare Gc.allocated_bytes reference" [ "R13" ] ~path:"lib/core/scratch.ml"
+    "let probe = Gc.allocated_bytes";
+  check_rules "procfs path literal" [ "R13" ] ~path:"lib/core/scratch.ml"
+    "let statm () = open_in \"/proc/self/statm\"";
+  check_rules "R13 applies in bin too" [ "R13" ] ~path:"bin/scratch.ml"
+    "let s () = Gc.stat ()"
+
+let test_r13_negative () =
+  check_rules "lib/obs owns GC introspection" [] ~path:"lib/obs/scratch.ml"
+    "let minor () = (Gc.quick_stat ()).Gc.minor_words";
+  check_rules "lib/obs owns procfs reads" [] ~path:"lib/obs/scratch.ml"
+    "let statm () = open_in \"/proc/self/statm\"";
+  check_rules "non-introspecting Gc calls are fine" [] ~path:"lib/core/scratch.ml"
+    "let f () = Gc.compact ()";
+  check_rules "a non-procfs path is fine" [] ~path:"lib/core/scratch.ml"
+    "let f () = open_in \"/tmp/data.csv\"";
+  check_rules "a suppression with a reason still works" [] ~path:"lib/core/scratch.ml"
+    "let b = Gc.allocated_bytes () (* lint: allow R13 -- one-off allocation probe in a test \
+     helper *)"
+
 (* Suppressions and R0. *)
 
 let test_suppression_trailing () =
@@ -289,6 +316,8 @@ let tests =
         case "r8 negative" test_r8_negative;
         case "r9 positive" test_r9_positive;
         case "r9 negative" test_r9_negative;
+        case "r13 positive" test_r13_positive;
+        case "r13 negative" test_r13_negative;
       ] );
     ( "lint-suppress",
       [

@@ -22,6 +22,7 @@ let span_of = function
   | Obs.Export.Span s -> s
   | Obs.Export.Metric m -> Alcotest.failf "expected a span, got metric %s" m.Obs.Export.metric_name
   | Obs.Export.Point p -> Alcotest.failf "expected a span, got point %s" p.Obs.Export.series
+  | Obs.Export.Sample s -> Alcotest.failf "expected a span, got sample %s" s.Obs.Export.s_kind
 
 let spans events = List.filter_map (function Obs.Export.Span s -> Some s | _ -> None) events
 
@@ -494,6 +495,311 @@ let test_concurrent_emission =
     (float_of_int (n * (n - 1) / 2))
     (field (by_name "conc.index") "sum")
 
+(* ---------------- telemetry: resource sampler ---------------- *)
+
+let test_ticker_intervals () =
+  let t = Obs.Resource.ticker ~period:1.0 ~now:0.0 in
+  check_true "not due before the first deadline" (not (Obs.Resource.due t ~now:0.5));
+  check_true "due at the deadline" (Obs.Resource.due t ~now:1.0);
+  check_true "not due twice for one deadline" (not (Obs.Resource.due t ~now:1.0));
+  check_true "due after the next period" (Obs.Resource.due t ~now:2.25);
+  (* A stall over several periods yields one catch-up tick, not a burst. *)
+  check_true "stall: one catch-up tick" (Obs.Resource.due t ~now:7.9);
+  check_true "stall: no burst" (not (Obs.Resource.due t ~now:7.95));
+  check_true "deadline re-anchored past the stall" (Obs.Resource.due t ~now:8.1)
+
+let test_ticker_rejects_bad_period () =
+  List.iter
+    (fun period ->
+      match Obs.Resource.ticker ~period ~now:0.0 with
+      | _ -> Alcotest.failf "accepted period %f" period
+      | exception Invalid_argument _ -> ())
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
+let test_resource_sample_round_trip =
+  with_clean_obs @@ fun () ->
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  let source, advance = Obs.Clock.manual ~start:5.0 () in
+  Obs.Clock.with_source source (fun () ->
+      Obs.Resource.sample ();
+      advance 2.0;
+      Obs.Resource.sample ());
+  Obs.Export.uninstall ();
+  let samples =
+    List.filter_map (function Obs.Export.Sample s -> Some s | _ -> None) (recorded ())
+  in
+  (match samples with
+  | [ a; b ] ->
+    Alcotest.(check string) "kind" "resource" a.Obs.Export.s_kind;
+    Alcotest.(check (float 0.0)) "first sample at the mock clock" 5.0 a.Obs.Export.t_s;
+    Alcotest.(check (float 0.0)) "second sample after advance" 7.0 b.Obs.Export.t_s;
+    List.iter
+      (fun field ->
+        check_true (field ^ " present") (List.mem_assoc field a.Obs.Export.values))
+      [ "minor_words"; "major_words"; "heap_words"; "minor_collections" ]
+  | ss -> Alcotest.failf "expected two samples, got %d" (List.length ss));
+  (* JSONL fixed point: to_json . of_json . to_json = to_json. *)
+  List.iter
+    (fun s ->
+      let line = Obs.Export.to_json (Obs.Export.Sample s) in
+      match Obs.Export.of_json line with
+      | Ok ev' -> Alcotest.(check string) "fixed point" line (Obs.Export.to_json ev')
+      | Error msg -> Alcotest.failf "could not parse %s: %s" line msg)
+    samples
+
+let test_resource_sample_disabled_is_noop =
+  with_clean_obs @@ fun () ->
+  (* No sink installed: must not raise, must not emit. *)
+  Obs.Resource.sample ();
+  let sink, recorded = Obs.Export.memory () in
+  Obs.Export.install sink;
+  Obs.Export.uninstall ();
+  Alcotest.(check int) "nothing emitted" 0 (List.length (recorded ()))
+
+(* ---------------- telemetry: progress ---------------- *)
+
+let with_manual_clock ?(start = 0.0) f =
+  let source, advance = Obs.Clock.manual ~start () in
+  Obs.Clock.with_source source (fun () -> f advance)
+
+let test_progress_zero_done =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  let p = Obs.Progress.create ~total:10 () in
+  advance 3.0;
+  let s = Obs.Progress.snapshot p in
+  Alcotest.(check int) "done" 0 s.Obs.Progress.s_done;
+  Alcotest.(check (float 0.0)) "rate is zero before any completion" 0.0
+    s.Obs.Progress.s_rate;
+  check_true "eta unknown" (Float.is_nan s.Obs.Progress.s_eta_s);
+  check_true "renders the unknown eta" (String.length (Obs.Progress.render s) > 0)
+
+let test_progress_all_failed =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  let p = Obs.Progress.create ~total:3 () in
+  advance 1.0;
+  Obs.Progress.record p ~cls:"non_finite" ~ok:false ();
+  Obs.Progress.record p ~cls:"non_finite" ~ok:false ();
+  Obs.Progress.record p ~cls:"qp_stalled" ~ok:false ();
+  let s = Obs.Progress.snapshot p in
+  Alcotest.(check int) "all done" 3 s.Obs.Progress.s_done;
+  Alcotest.(check int) "none ok" 0 s.Obs.Progress.s_ok;
+  Alcotest.(check int) "all failed" 3 s.Obs.Progress.s_failed;
+  Alcotest.(check (list (pair string int))) "classes sorted and tallied"
+    [ ("non_finite", 2); ("qp_stalled", 1) ]
+    s.Obs.Progress.s_classes;
+  Alcotest.(check (float 0.0)) "eta is zero once everything completed" 0.0
+    s.Obs.Progress.s_eta_s;
+  let line = Obs.Progress.render s in
+  check_true "render names the failure class" (contains line "non_finite:2")
+
+let test_progress_window_rate =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  let p = Obs.Progress.create ~window_s:10.0 ~total:8 () in
+  advance 1.0;
+  Obs.Progress.record p ~ok:true ();
+  advance 1.0;
+  Obs.Progress.record p ~ok:true ();
+  advance 1.0;
+  Obs.Progress.record p ~ok:true ();
+  (* Three completions inside the window; elapsed 3 s < window 10 s, so
+     the rate is count over elapsed. *)
+  let s = Obs.Progress.snapshot p in
+  Alcotest.(check (float 1e-9)) "windowed rate" 1.0 s.Obs.Progress.s_rate;
+  Alcotest.(check (float 1e-9)) "eta = remaining / rate" 5.0 s.Obs.Progress.s_eta_s
+
+let test_progress_window_fallback =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  (* Completions slower than the window: the window is empty at snapshot
+     time, so the rate degrades to the overall average instead of 0. *)
+  let p = Obs.Progress.create ~window_s:0.5 ~total:4 () in
+  advance 2.0;
+  Obs.Progress.record p ~ok:true ();
+  advance 2.0;
+  Obs.Progress.record p ~ok:true ();
+  advance 1.0;
+  let s = Obs.Progress.snapshot p in
+  Alcotest.(check (float 1e-9)) "overall-average fallback" 0.4 s.Obs.Progress.s_rate;
+  Alcotest.(check (float 1e-9)) "eta from the fallback rate" 5.0 s.Obs.Progress.s_eta_s
+
+let test_progress_replayed =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  let p = Obs.Progress.create ~total:5 () in
+  Obs.Progress.record_replayed p 3;
+  advance 1.0;
+  let s = Obs.Progress.snapshot p in
+  Alcotest.(check int) "replays count as done" 3 s.Obs.Progress.s_done;
+  Alcotest.(check int) "replays count as ok" 3 s.Obs.Progress.s_ok;
+  Alcotest.(check int) "replays are tracked apart" 3 s.Obs.Progress.s_replayed;
+  (* Replays bypass the sliding window but still feed the overall
+     average (the documented degradation, visible here as 3/1s). *)
+  Alcotest.(check (float 1e-9)) "window ignores replays" 3.0 s.Obs.Progress.s_rate
+
+let test_progress_observer_rate_limit =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  let p = Obs.Progress.create ~total:100 () in
+  let calls = ref 0 in
+  Obs.Progress.observe ~min_interval_s:1.0 p (fun _ -> incr calls);
+  Obs.Progress.record p ~ok:true ();
+  Obs.Progress.record p ~ok:true ();
+  Obs.Progress.record p ~ok:true ();
+  Alcotest.(check int) "same-instant completions coalesce" 1 !calls;
+  advance 1.5;
+  Obs.Progress.record p ~ok:true ();
+  Alcotest.(check int) "interval elapsed: fires again" 2 !calls;
+  Obs.Progress.finish p;
+  Alcotest.(check int) "finish always fires" 3 !calls
+
+let test_progress_record_into_none () =
+  (* The disabled path must cost a branch and nothing else. *)
+  Obs.Progress.record_into None ~ok:true ();
+  Obs.Progress.record_into None ~cls:"non_finite" ~ok:false ()
+
+let test_progress_json =
+  with_clean_obs @@ fun () ->
+  with_manual_clock @@ fun advance ->
+  let p = Obs.Progress.create ~total:2 () in
+  advance 1.0;
+  Obs.Progress.record p ~cls:"qp_stalled" ~ok:false ();
+  let json = Obs.Progress.to_json (Obs.Progress.snapshot p) in
+  List.iter
+    (fun needle -> check_true ("json has " ^ needle) (contains json needle))
+    [ "\"total\":2"; "\"done\":1"; "\"failed\":1"; "\"qp_stalled\":1"; "\"elapsed_s\":1" ]
+
+(* ---------------- telemetry: utilization ---------------- *)
+
+let chunk_sample ~domain ~lo ~hi ~start ~stop =
+  Obs.Export.Sample
+    {
+      Obs.Export.s_kind = "chunk";
+      t_s = stop;
+      values =
+        [
+          ("domain", float_of_int domain); ("lo", float_of_int lo);
+          ("hi", float_of_int hi); ("start", start); ("stop", stop);
+        ];
+    }
+
+let test_utilization_synthetic () =
+  (* Two domains over a 2 s fan-out: domain 0 busy 1.5 s in two chunks,
+     domain 1 busy 2.0 s in one chunk. *)
+  let events =
+    [
+      chunk_sample ~domain:0 ~lo:0 ~hi:4 ~start:0.0 ~stop:1.0;
+      chunk_sample ~domain:0 ~lo:4 ~hi:8 ~start:1.2 ~stop:1.7;
+      chunk_sample ~domain:1 ~lo:8 ~hi:16 ~start:0.0 ~stop:2.0;
+    ]
+  in
+  match Obs.Utilization.of_events events with
+  | None -> Alcotest.fail "expected a report"
+  | Some r ->
+    Alcotest.(check int) "chunk count" 3 r.Obs.Utilization.chunk_count;
+    Alcotest.(check (float 1e-9)) "span" 2.0 r.Obs.Utilization.span_s;
+    (match r.Obs.Utilization.domains with
+    | [ d0; d1 ] ->
+      Alcotest.(check int) "sorted by domain id" 0 d0.Obs.Utilization.domain;
+      Alcotest.(check int) "items = sum hi-lo" 8 d0.Obs.Utilization.items;
+      Alcotest.(check (float 1e-9)) "domain 0 busy" 1.5 d0.Obs.Utilization.busy_s;
+      Alcotest.(check (float 1e-9)) "domain 0 fraction" 0.75
+        d0.Obs.Utilization.busy_fraction;
+      Alcotest.(check (float 1e-9)) "domain 1 fraction" 1.0
+        d1.Obs.Utilization.busy_fraction;
+      List.iter
+        (fun (d : Obs.Utilization.domain_stat) ->
+          check_true "fraction in (0,1]"
+            (d.Obs.Utilization.busy_fraction > 0.0
+            && d.Obs.Utilization.busy_fraction <= 1.0))
+        r.Obs.Utilization.domains
+    | ds -> Alcotest.failf "expected two domains, got %d" (List.length ds));
+    (* Chunk walls: 1.0, 0.5, 2.0 -> mean 7/6, max 2.0. *)
+    Alcotest.(check (float 1e-9)) "imbalance = max/mean" (2.0 /. (3.5 /. 3.0))
+      r.Obs.Utilization.imbalance;
+    check_true "imbalance finite" (Float.is_finite r.Obs.Utilization.imbalance)
+
+let test_utilization_edges () =
+  check_true "no chunks -> no report" (Option.is_none (Obs.Utilization.of_events []));
+  (* Malformed and non-chunk samples are ignored, not fatal. *)
+  let noise =
+    [
+      Obs.Export.Sample
+        { Obs.Export.s_kind = "resource"; t_s = 1.0; values = [ ("heap_words", 1e6) ] };
+      Obs.Export.Sample { Obs.Export.s_kind = "chunk"; t_s = 1.0; values = [] };
+    ]
+  in
+  check_true "noise alone -> no report" (Option.is_none (Obs.Utilization.of_events noise));
+  (* A zero-width span (one instantaneous chunk) pins the fraction at 1. *)
+  match
+    Obs.Utilization.of_events [ chunk_sample ~domain:2 ~lo:0 ~hi:1 ~start:5.0 ~stop:5.0 ]
+  with
+  | Some { Obs.Utilization.domains = [ d ]; imbalance; _ } ->
+    Alcotest.(check (float 0.0)) "zero-span fraction" 1.0 d.Obs.Utilization.busy_fraction;
+    Alcotest.(check (float 0.0)) "zero-span imbalance" 1.0 imbalance
+  | _ -> Alcotest.fail "expected a single-domain report"
+
+(* ---------------- telemetry: chrome export ---------------- *)
+
+let chrome_string events =
+  let path = Filename.temp_file "obs_chrome" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Chrome.output oc events;
+      close_out oc;
+      In_channel.with_open_text path In_channel.input_all)
+
+let test_chrome_export_golden () =
+  let events =
+    [
+      Obs.Export.Span
+        { Obs.Export.id = 1; parent = None; name = "batch"; start_s = 10.0;
+          stop_s = 12.0; attrs = [] };
+      Obs.Export.Span
+        { Obs.Export.id = 2; parent = Some 1; name = "solve"; start_s = 10.5;
+          stop_s = 11.0; attrs = [ ("domain", Obs.Export.Int 3) ] };
+      chunk_sample ~domain:3 ~lo:0 ~hi:32 ~start:10.5 ~stop:11.0;
+      Obs.Export.Sample
+        { Obs.Export.s_kind = "resource"; t_s = 11.0;
+          values = [ ("heap_words", 4096.0) ] };
+      Obs.Export.Point
+        { Obs.Export.series = "qp.iteration"; span_id = Some 2; iter = 1;
+          values = [ ("kkt_residual", 0.5) ] };
+      Obs.Export.Metric
+        { Obs.Export.metric_name = "skipped"; kind = "counter";
+          fields = [ ("value", 1.0) ] };
+    ]
+  in
+  let doc = chrome_string events in
+  check_true "document shape" (contains doc "{\"traceEvents\":[");
+  (* The root span starts at the stream's earliest timestamp: ts 0. *)
+  check_true "root span is a complete event at ts 0"
+    (contains doc
+       "{\"name\":\"batch\",\"ph\":\"X\",\"ts\":0.0,\"dur\":2000000.0,\"pid\":1,\"tid\":0");
+  (* The child span lands on its domain's lane, 0.5 s = 500000 us in. *)
+  check_true "child span on the domain lane"
+    (contains doc
+       "{\"name\":\"solve\",\"ph\":\"X\",\"ts\":500000.0,\"dur\":500000.0,\"pid\":1,\"tid\":3");
+  check_true "chunk renders as a complete event on its domain tid"
+    (contains doc
+       "{\"name\":\"chunk [0,32)\",\"ph\":\"X\",\"ts\":500000.0,\"dur\":500000.0,\"pid\":1,\"tid\":3");
+  check_true "resource field becomes a counter track"
+    (contains doc
+       "{\"name\":\"resource.heap_words\",\"ph\":\"C\",\"ts\":1000000.0,\"pid\":1,\"args\":{\"heap_words\":4096.0}");
+  check_true "point becomes an instant at its owning span"
+    (contains doc
+       "{\"name\":\"qp.iteration #1\",\"ph\":\"i\",\"ts\":500000.0,\"pid\":1,\"tid\":3,\"s\":\"t\"");
+  check_true "metrics are skipped" (not (contains doc "skipped"))
+
+let test_chrome_export_empty () =
+  Alcotest.(check string) "empty stream is a valid document" "{\"traceEvents\":[\n\n]}\n"
+    (chrome_string [])
+
 let tests =
   [
     ( "obs-clock",
@@ -530,4 +836,32 @@ let tests =
         case "lambda selection spans" test_pipeline_lambda_spans;
       ] );
     ("obs-concurrency", [ case "concurrent emission" test_concurrent_emission ]);
+    ( "telemetry-sampler",
+      [
+        case "ticker interval logic" test_ticker_intervals;
+        case "ticker rejects bad periods" test_ticker_rejects_bad_period;
+        case "resource sample jsonl round-trip" test_resource_sample_round_trip;
+        case "disabled sample is a no-op" test_resource_sample_disabled_is_noop;
+      ] );
+    ( "telemetry-progress",
+      [
+        case "zero done: unknown eta" test_progress_zero_done;
+        case "all failed: classes tallied" test_progress_all_failed;
+        case "sliding-window rate" test_progress_window_rate;
+        case "slow completions fall back" test_progress_window_fallback;
+        case "checkpoint replays tracked apart" test_progress_replayed;
+        case "observer rate limit" test_progress_observer_rate_limit;
+        case "record_into None is a no-op" test_progress_record_into_none;
+        case "snapshot json" test_progress_json;
+      ] );
+    ( "telemetry-utilization",
+      [
+        case "synthetic chunk timings" test_utilization_synthetic;
+        case "edge cases" test_utilization_edges;
+      ] );
+    ( "telemetry-chrome",
+      [
+        case "golden export" test_chrome_export_golden;
+        case "empty stream" test_chrome_export_empty;
+      ] );
   ]

@@ -195,7 +195,7 @@ let with_clean_obs f () =
       Obs.Clock.set_source Obs.Clock.wall)
     f
 
-let points_of events =
+let points_of events : Obs.Export.point list =
   List.filter_map (function Obs.Export.Point p -> Some p | _ -> None) events
 
 let test_qp_emits_one_point_per_iteration =
@@ -245,7 +245,7 @@ let test_qp_emits_one_point_per_iteration =
     | Some (Obs.Export.Int n) -> Alcotest.(check int) "span attr matches" n (List.length points)
     | _ -> Alcotest.fail "qp.solve span lacks an iterations attribute");
   List.iter
-    (fun p ->
+    (fun (p : Obs.Export.point) ->
       check_true "kkt_residual present" (List.mem_assoc "kkt_residual" p.Obs.Export.values);
       check_true "mu present" (List.mem_assoc "mu" p.Obs.Export.values))
     points;
