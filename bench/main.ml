@@ -1376,6 +1376,16 @@ let micro () =
                Obs.Resource.sample ();
                ignore (Sys.opaque_identity i)
              done));
+      (* The diag path with no sink: Obs.Diag.enabled is the branch every
+         quality-statistic emitter hoists its work behind, so this is the
+         cost solve_robust/Lambda/Qp pay per solve when tracing is off. *)
+      Test.make ~name:"obs_diag_disabled"
+        (Staged.stage (fun () ->
+             for i = 1 to 10000 do
+               if Obs.Diag.enabled () then
+                 Obs.Diag.emit (Obs.Diag.make ~stage:"bench" ~values:[ ("i", 0.0) ] ());
+               ignore (Sys.opaque_identity i)
+             done));
       (* One branch per call leaves even 10000 iterations inside timer
          noise; 50000 brings the fit back above the r^2 gate. *)
       Test.make ~name:"obs_progress_update_disabled"

@@ -26,6 +26,7 @@ let scope_text = function
   | Analysis.Rules.Except_concurrency ->
     "everywhere except lib/parallel/ and lib/obs/"
   | Analysis.Rules.Except_atomic -> "lib/ only, except lib/dataio/atomic_file.ml"
+  | Analysis.Rules.Except_quality -> "lib/ only, except lib/numerics/ and lib/core/"
   | Analysis.Rules.Check_only -> "whole-program, via 'deconv-lint check'"
 
 let print_rules () =

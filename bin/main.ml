@@ -932,13 +932,110 @@ let trace_selfcheck_cmd =
              span nesting, ticker policy, and utilization aggregation.")
     Term.(const run $ const ())
 
+(* ---------------- trace diff ---------------- *)
+
+let trace_diff_cmd =
+  let file_a_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"A.JSONL" ~doc:"Baseline trace.")
+  in
+  let file_b_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"B.JSONL" ~doc:"Candidate trace, compared against the baseline.")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float Obs.Trajectory.default_thresholds.Obs.Trajectory.tolerance
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:"Relative per-span slowdown tolerated before a time regression fires \
+                   (0.3 = 30%). Quality statistics are always compared exactly.")
+  in
+  let run file_a file_b tolerance =
+    match read_trace_file file_a, read_trace_file file_b with
+    | Error msg, _ ->
+      Printf.eprintf "error: %s: %s\n" file_a msg;
+      1
+    | _, Error msg ->
+      Printf.eprintf "error: %s: %s\n" file_b msg;
+      1
+    | Ok a, Ok b ->
+      let thresholds =
+        { Obs.Trajectory.default_thresholds with Obs.Trajectory.tolerance }
+      in
+      let d = Obs.Tracediff.diff ~thresholds a b in
+      Obs.Tracediff.output stdout d;
+      if Obs.Tracediff.has_regression d then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two traces of the same workload: per-span wall-time deltas gated with \
+             the bench-compare tolerance (plus an absolute noise floor), and per-solve \
+             quality statistics compared exactly. Exit 1 on a time regression.")
+    Term.(const run $ file_a_arg $ file_b_arg $ tolerance_arg)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Inspect and validate observability traces.")
     [
       trace_summarize_cmd; trace_convergence_cmd; trace_utilization_cmd; trace_export_cmd;
-      trace_selfcheck_cmd;
+      trace_selfcheck_cmd; trace_diff_cmd;
     ]
+
+(* ---------------- diagnose ---------------- *)
+
+let diagnose_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.JSONL" ~doc:"Trace written by `deconvolve --trace` or \
+                                             `batch --trace`.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON (exact float round-trip) instead \
+                                 of text.")
+  in
+  let no_plot_arg =
+    Arg.(value & flag
+         & info [ "no-plot" ] ~doc:"Suppress the ASCII λ-profile plots in the text report.")
+  in
+  let kappa_limit_arg =
+    Arg.(value & opt float Deconv.Quality.default_thresholds.Deconv.Quality.kappa_limit
+         & info [ "kappa-limit" ] ~docv:"K"
+             ~doc:"Flag solves whose condition number κ exceeds $(docv).")
+  in
+  let run file json no_plot kappa_limit =
+    match read_trace_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      1
+    | Ok events ->
+      let thresholds =
+        { Deconv.Quality.default_thresholds with Deconv.Quality.kappa_limit }
+      in
+      let cards = Deconv.Quality.cards ~thresholds events in
+      if cards = [] then begin
+        Printf.eprintf
+          "error: %s carries no per-solve diag records — re-run with --trace on a build \
+           with diagnostics enabled\n"
+          file;
+        1
+      end
+      else if json then begin
+        print_string (Deconv.Quality.report_json cards);
+        print_newline ();
+        0
+      end
+      else begin
+        Deconv.Quality.output_report ~thresholds ~plot:(not no_plot) stdout cards;
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Per-solve quality report card from a trace: condition number κ, selected λ and \
+             effective degrees of freedom, the λ-candidate profile (plotted), weighted-residual \
+             whiteness and normality verdicts, active-constraint counts, and the robust-cascade \
+             path, with flags for unhealthy solves.")
+    Term.(const run $ file_arg $ json_arg $ no_plot_arg $ kappa_limit_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -1085,7 +1182,8 @@ let print_outcome outcome =
       if i < 10 then Printf.printf "  gene %d: %s\n" g (Robust.Error.to_string e))
     failures;
   if List.length failures > 10 then
-    Printf.printf "  ... and %d more\n" (List.length failures - 10)
+    Printf.printf "  ... and %d more\n" (List.length failures - 10);
+  Deconv.Quality.output_quantiles stdout outcome.Outcome.quality
 
 let progress_flag_arg =
   Arg.(value & flag
@@ -1284,6 +1382,7 @@ let () =
          [
            simulate_cmd; deconvolve_cmd; batch_cmd; chaos_cmd; kernel_cmd; celltypes_cmd;
            identifiability_cmd; schedule_cmd; calibrate_cmd; trace_cmd; bench_cmd;
+           diagnose_cmd;
          ])
   in
   (* Documented exit codes: 0 ok, 1 gate/lint/run failure, 2 usage error,

@@ -52,6 +52,17 @@ let is_atomic_file path =
   | file :: dir :: _ -> String.equal file "atomic_file.ml" && String.equal dir "dataio"
   | _ -> false
 
+(* The quality layers: lib/numerics holds the statistic kernels and
+   lib/core (Quality, Diagnostics) assembles them into diag records —
+   the only library code allowed to reference the quality-statistic
+   primitives (rule R14's exemption). *)
+let in_quality path =
+  in_lib path
+  &&
+  match List.rev (segments path) with
+  | _file :: dir :: _ -> String.equal dir "numerics" || String.equal dir "core"
+  | _ -> false
+
 (* ---------------- rule implementations ---------------- *)
 
 (* The paper constants of rule R4: phi_sst ~ N(0.15, (0.13*0.15)^2), the
@@ -185,6 +196,7 @@ type ctx = {
   obs : bool;  (* under lib/obs/: exempt from R7 *)
   conc : bool;  (* under lib/parallel/ or lib/obs/: exempt from R8 *)
   atomic : bool;  (* lib/dataio/atomic_file.ml: exempt from R9 *)
+  quality : bool;  (* under lib/numerics/ or lib/core/: exempt from R14 *)
   mutable in_data : bool;  (* inside an array/list literal (data table) *)
   mutable acc : Finding.t list;
 }
@@ -398,6 +410,37 @@ let check_r13 ctx e =
            unavailable-platform fallback"
     | _ -> ()
 
+(* R14: quality-statistic primitives outside lib/numerics and lib/core.
+   Matched on the trailing (Module, fn) pair so both [Stats.runs_z] and
+   the fully qualified [Numerics.Stats.runs_z] are caught. *)
+let r14_stats_fns = [ "runs_z"; "moment_z"; "normality_z" ]
+
+let check_r14 ctx e =
+  if ctx.lib && not ctx.quality then
+    match e.pexp_desc with
+    | Pexp_ident { txt = lid; _ } -> (
+      match lid with
+      | Ldot (Lident "Linalg", "condition_spd")
+      | Ldot (Ldot (_, "Linalg"), "condition_spd") ->
+        report ctx ~loc:e.pexp_loc ~rule:"R14"
+          ~message:
+            "condition-number computation outside the quality layers: κ is a quality \
+             statistic and is reported through Obs.Diag"
+          ~hint:
+            "use Quality.kappa (or Solver's cascade, which already records it) and let the \
+             diag stream carry the value"
+      | Ldot (Lident "Stats", fn) | Ldot (Ldot (_, "Stats"), fn)
+        when List.exists (String.equal fn) r14_stats_fns ->
+        report ctx ~loc:e.pexp_loc ~rule:"R14"
+          ~message:
+            (Printf.sprintf
+               "residual-test statistic Stats.%s referenced outside the quality layers" fn)
+          ~hint:
+            "route through Quality.residual_stats / Diagnostics so the statistic has one \
+             definition, and emit it as an Obs.Diag event instead of printing it"
+      | _ -> ())
+    | _ -> ()
+
 let check_r6 ctx f args =
   let is_ignore e =
     match ident_of e with
@@ -442,6 +485,7 @@ let make_iterator ctx =
     check_r8 ctx e;
     check_r9 ctx e;
     check_r13 ctx e;
+    check_r14 ctx e;
     match e.pexp_desc with
     | Pexp_array _ | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
       let saved = ctx.in_data in
@@ -484,6 +528,7 @@ let walk_source ~path source =
           obs = in_obs path;
           conc = in_obs path || in_parallel path;
           atomic = is_atomic_file path;
+          quality = in_quality path;
           in_data = false;
           acc = [];
         }

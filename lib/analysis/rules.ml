@@ -4,6 +4,7 @@ type scope =
   | Except_obs
   | Except_concurrency
   | Except_atomic
+  | Except_quality
   | Check_only
       (** interprocedural: enforced by the whole-program [deconv-lint check]
           pass (callgraph + effect fixpoint), not the per-file walker *)
@@ -185,6 +186,22 @@ let all =
          and procfs reads are Linux-only — the sampler centralizes the cheap \
          variants and the portability fallback exactly once (same shape as \
          R7's clock rule).";
+    };
+    {
+      id = "R14";
+      title = "quality statistic computed outside the quality layers";
+      scope = Except_quality;
+      description =
+        "A solution-quality statistic primitive (Linalg.condition_spd, \
+         Stats.runs_z, Stats.moment_z, Stats.normality_z) referenced in \
+         library code outside lib/numerics and lib/core. Quality statistics \
+         are computed in exactly one place — Quality/Diagnostics over the \
+         numerics kernels — and leave the library only as Obs.Diag events \
+         on the trace stream, where [diagnose] and [trace diff] can see \
+         them. A per-module reimplementation (or an ad-hoc Printf of a \
+         condition number) forks the definition: the report card and the \
+         module would disagree about the same solve. Call into Quality, or \
+         emit an Obs.Diag record and let the CLI render it.";
     };
   ]
 

@@ -1,6 +1,6 @@
 (** The registry of numerical-safety rules enforced by deconv-lint.
 
-    Rule ids are stable strings ("R0".."R12") used in findings, in
+    Rule ids are stable strings ("R0".."R14") used in findings, in
     [--disable] flags and in suppression comments. *)
 
 type scope =
@@ -12,6 +12,9 @@ type scope =
   | Except_atomic
       (** enforced under [lib/] except [lib/dataio/atomic_file.ml], the one
           module allowed to open raw output channels *)
+  | Except_quality
+      (** enforced under [lib/] except [lib/numerics/] and [lib/core/], the
+          layers where solution-quality statistics are computed *)
   | Check_only
       (** interprocedural: enforced by the whole-program [deconv-lint check]
           pass ({!Policy}), not by the per-file expression walker *)

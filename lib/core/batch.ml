@@ -98,7 +98,19 @@ let solve_gene_result t ?sigmas ?(lambda = `Gcv) ?budget ~measurements () =
       | Error e -> Error e
       | Ok lam ->
         let est = Solver.solve ?budget ~lambda:lam problem in
-        if Solver.finite_estimate est then Ok est
+        if Solver.finite_estimate est then begin
+          (* Batch genes go through the raw solve (no cascade), so the
+             per-solve quality record is emitted here; κ is recomputed
+             only under an active sink. *)
+          if Obs.Diag.enabled () then
+            Quality.emit_solve ~problem ~fitted:est.Solver.fitted ~lambda:est.Solver.lambda
+              ~entry_lambda:lam ~rss:est.Solver.data_misfit
+              ~kappa:(Quality.kappa problem ~lambda:est.Solver.lambda)
+              ~degradation:0 ~active_positivity:est.Solver.active_positivity
+              ~qp_iterations:est.Solver.qp_iterations ~solved_by:"constrained_qp"
+              ~cascade:"constrained_qp" ();
+          Ok est
+        end
         else Error (Robust.Error.Non_finite { stage = "constrained QP solution" }))
   with
   | r -> r
@@ -112,6 +124,9 @@ module Outcome = struct
   type t = {
     outcomes : (Solver.estimate, Robust.Error.t) result array;
     replayed : int;
+    quality : (string * Quality.quantiles) list;
+        (** per-gene quality quantiles over the successful solves —
+            empty when nothing succeeded *)
   }
 
   let total t = Array.length t.outcomes
@@ -208,8 +223,11 @@ let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?jo
             if max_seconds = None && max_iterations = None then None
             else Some (Robust.Budget.create ?max_seconds ?max_iterations ())
           in
-          solve_gene_result t ?sigmas:(sigma_row g) ~lambda ?budget
-            ~measurements:(Mat.row measurements g) ())
+          (* Diag records emitted inside key by gene id, so trace diff
+             can join per-gene quality across two batch runs. *)
+          Obs.Diag.with_solve (Printf.sprintf "gene:%d" g) (fun () ->
+              solve_gene_result t ?sigmas:(sigma_row g) ~lambda ?budget
+                ~measurements:(Mat.row measurements g) ()))
     in
     let fresh = ref [] in
     Array.iteri
@@ -227,13 +245,45 @@ let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?jo
     (match on_block with Some f -> f ~done_:!done_ ~total:genes | None -> ());
     pos := hi
   done;
-  let outcome =
-    {
-      Outcome.outcomes =
-        Array.map (function Some o -> o | None -> assert false) outcomes;
-      replayed = !replayed;
-    }
+  let outcomes = Array.map (function Some o -> o | None -> assert false) outcomes in
+  (* Per-gene quality quantiles over the successful solves. Everything
+     here is O(n) per gene on data already in hand (the runs test reuses
+     the gene's own measurements/σ row), so the summary is always
+     computed — genome-scale output should be auditable without a trace
+     sink. *)
+  let quality =
+    let per_gene = ref [] in
+    Array.iteri
+      (fun g outcome ->
+        match outcome with
+        | Error _ -> ()
+        | Ok (est : Solver.estimate) ->
+          let meas = Mat.row measurements g in
+          let standardized =
+            Array.init (Array.length meas) (fun m ->
+                let sigma =
+                  match sigma_row g with Some s -> s.(m) | None -> 1.0
+                in
+                (meas.(m) -. est.Solver.fitted.(m)) /. sigma)
+          in
+          per_gene :=
+            [
+              ("rss", est.Solver.data_misfit);
+              ("lambda", est.Solver.lambda);
+              ("qp_iterations", float_of_int est.Solver.qp_iterations);
+              ("active_positivity", float_of_int est.Solver.active_positivity);
+              ("runs_z", Stats.runs_z standardized);
+            ]
+            :: !per_gene)
+      outcomes;
+    Quality.summarize (List.rev !per_gene)
   in
+  List.iter
+    (fun (key, (q : Quality.quantiles)) ->
+      Obs.Metrics.set ("batch.quality." ^ key ^ ".p50") q.Quality.q50;
+      Obs.Metrics.set ("batch.quality." ^ key ^ ".p90") q.Quality.q90)
+    quality;
+  let outcome = { Outcome.outcomes; replayed = !replayed; quality } in
   Obs.Metrics.incr ~by:(float_of_int (Outcome.ok_count outcome)) "batch.genes_ok";
   Obs.Metrics.incr ~by:(float_of_int (Outcome.failed_count outcome)) "batch.genes_failed";
   Obs.Metrics.incr ~by:(float_of_int !replayed) "batch.genes_replayed";

@@ -61,6 +61,11 @@ module Outcome : sig
     outcomes : (Solver.estimate, Robust.Error.t) result array;
         (** per gene, in row order *)
     replayed : int;  (** genes restored from the checkpoint journal *)
+    quality : (string * Quality.quantiles) list;
+        (** per-gene quality quantiles (rss, lambda, qp_iterations,
+            active_positivity, runs_z) over the successful solves; render
+            with {!Quality.output_quantiles}. Empty when no gene
+            succeeded. *)
   }
 
   val total : t -> int

@@ -53,6 +53,7 @@ type outcome = {
   bands : bands option;
   failures : (int * Robust.Error.t) list;
   attempted : int;
+  quality : (string * Quality.quantiles) list;
 }
 
 let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterations ?progress
@@ -84,29 +85,49 @@ let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterati
   in
   let results =
     Parallel.parallel_map_result ~on_result ~n:replicates (fun b ->
-        let brng = rngs.(b) in
-        let resampled = Array.make n_m 0.0 in
-        for m = 0 to n_m - 1 do
-          resampled.(m) <- fitted.(m) +. (sigmas.(m) *. Rng.pick brng standardized)
-        done;
-        let problem_b = { problem with Problem.measurements = resampled } in
-        let budget =
-          if max_seconds = None && max_iterations = None then None
-          else Some (Robust.Budget.create ?max_seconds ?max_iterations ())
-        in
-        let estimate_b = Solver.solve ?budget ~lambda:estimate.Solver.lambda problem_b in
-        if Solver.finite_estimate estimate_b then estimate_b.Solver.profile
-        else Robust.Error.raise_error (Robust.Error.Non_finite { stage = "bootstrap replicate" }))
+        Obs.Diag.with_solve (Printf.sprintf "rep:%d" b) (fun () ->
+            let brng = rngs.(b) in
+            let resampled = Array.make n_m 0.0 in
+            for m = 0 to n_m - 1 do
+              resampled.(m) <- fitted.(m) +. (sigmas.(m) *. Rng.pick brng standardized)
+            done;
+            let problem_b = { problem with Problem.measurements = resampled } in
+            let budget =
+              if max_seconds = None && max_iterations = None then None
+              else Some (Robust.Budget.create ?max_seconds ?max_iterations ())
+            in
+            let estimate_b = Solver.solve ?budget ~lambda:estimate.Solver.lambda problem_b in
+            if Solver.finite_estimate estimate_b then
+              ( estimate_b.Solver.profile,
+                [
+                  ("rss", estimate_b.Solver.data_misfit);
+                  ("qp_iterations", float_of_int estimate_b.Solver.qp_iterations);
+                  ("active_positivity", float_of_int estimate_b.Solver.active_positivity);
+                ] )
+            else
+              Robust.Error.raise_error (Robust.Error.Non_finite { stage = "bootstrap replicate" })))
   in
   let failures = ref [] in
   let ok = ref [] in
+  let stats = ref [] in
   Array.iteri
     (fun b -> function
-      | Ok profile -> ok := profile :: !ok
+      | Ok (profile, s) ->
+        ok := profile :: !ok;
+        stats := s :: !stats
       | Error exn -> failures := (b, Robust.Error.of_exn exn) :: !failures)
     results;
   let failures = List.rev !failures in
   let profiles_ok = Array.of_list (List.rev !ok) in
+  (* Per-replicate quality quantiles: a replicate population whose RSS or
+     iteration quantiles drift from the original fit's signals that the
+     resampled problems are not exchangeable with it. *)
+  let quality = Quality.summarize (List.rev !stats) in
+  List.iter
+    (fun (key, (q : Quality.quantiles)) ->
+      Obs.Metrics.set ("bootstrap.quality." ^ key ^ ".p50") q.Quality.q50;
+      Obs.Metrics.set ("bootstrap.quality." ^ key ^ ".p90") q.Quality.q90)
+    quality;
   let bands =
     if Array.length profiles_ok = 0 then None
     else begin
@@ -124,7 +145,7 @@ let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterati
     end
   in
   Obs.Metrics.incr ~by:(float_of_int (List.length failures)) "bootstrap.replicates_failed";
-  { bands; failures; attempted = replicates }
+  { bands; failures; attempted = replicates; quality }
 
 let width bands = Vec.sub bands.upper bands.lower
 

@@ -36,6 +36,11 @@ type outcome = {
   failures : (int * Robust.Error.t) list;
       (** failed replicate indices (ascending) with their typed errors *)
   attempted : int;
+  quality : (string * Quality.quantiles) list;
+      (** per-replicate quality quantiles (rss, qp_iterations,
+          active_positivity) over the successful re-solves; drifting
+          quantiles flag replicate populations that are not exchangeable
+          with the original fit *)
 }
 
 val residual_result :

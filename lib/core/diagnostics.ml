@@ -18,26 +18,9 @@ let lag1 residuals =
     Stats.correlation head tail
   end
 
-(* Wald-Wolfowitz runs test on the residual signs. *)
-let runs_z_score residuals =
-  let n = Array.length residuals in
-  let positives = Array.fold_left (fun acc r -> if r >= 0.0 then acc + 1 else acc) 0 residuals in
-  let negatives = n - positives in
-  if positives = 0 || negatives = 0 then 0.0
-  else begin
-    let runs = ref 1 in
-    for i = 1 to n - 1 do
-      if residuals.(i) >= 0.0 <> (residuals.(i - 1) >= 0.0) then incr runs
-    done;
-    let np = float_of_int positives and nn = float_of_int negatives in
-    let total = np +. nn in
-    let expected = (2.0 *. np *. nn /. total) +. 1.0 in
-    let variance =
-      2.0 *. np *. nn *. ((2.0 *. np *. nn) -. total)
-      /. (total *. total *. (total -. 1.0))
-    in
-    if variance <= 0.0 then 0.0 else (float_of_int !runs -. expected) /. sqrt variance
-  end
+(* Wald-Wolfowitz runs test on the residual signs (lives in Stats so the
+   quality observatory and this report share one implementation). *)
+let runs_z_score = Stats.runs_z
 
 let analyze problem (estimate : Solver.estimate) =
   let g = problem.Problem.measurements in

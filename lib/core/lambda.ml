@@ -173,35 +173,55 @@ let lcurve problem ~lambdas =
   done;
   (lambdas.(!best), curve)
 
-let select problem ~method_ ?rng ?lambdas () =
+let method_name = function
+  | `Fixed _ -> "fixed"
+  | `Gcv -> "gcv"
+  | `Lcurve -> "lcurve"
+  | `Kfold _ -> "kfold"
+
+let select_with_curve problem ~method_ ?rng ?lambdas () =
   let lambdas = match lambdas with Some l -> l | None -> Lazy.force default_grid in
   Obs.Span.with_ "lambda.select" (fun sp ->
-      Obs.Span.set_str sp "method"
-        (match method_ with
-        | `Fixed _ -> "fixed"
-        | `Gcv -> "gcv"
-        | `Lcurve -> "lcurve"
-        | `Kfold _ -> "kfold");
+      Obs.Span.set_str sp "method" (method_name method_);
       Obs.Span.set_int sp "candidates" (Array.length lambdas);
-      let chosen =
+      let chosen, curve =
         match method_ with
         | `Fixed lambda ->
-          if usable_lambda lambda then lambda
+          if usable_lambda lambda then (lambda, [||])
           else
             Robust.Error.raise_error
               (Robust.Error.Invalid_input
                  { field = "lambda"; why = Printf.sprintf "fixed lambda %g is not usable" lambda })
-        | `Gcv -> fst (gcv problem ~lambdas)
-        | `Lcurve -> fst (lcurve problem ~lambdas)
+        | `Gcv -> gcv problem ~lambdas
+        | `Lcurve -> lcurve problem ~lambdas
         | `Kfold k ->
           let rng = match rng with Some r -> r | None -> Rng.create 42 in
-          fst (kfold problem ~rng ~k ~lambdas)
+          kfold problem ~rng ~k ~lambdas
       in
       Obs.Span.set_float sp "chosen" chosen;
       Obs.Metrics.set "lambda.chosen" chosen;
-      chosen)
+      (* The full candidate profile goes on the trace stream instead of
+         being dropped: diagnose plots it, trace diff compares it
+         point-by-point, and the Demmler-Reinsch fast path (ROADMAP item
+         1) can prove score-equivalence against it. *)
+      if Obs.Diag.enabled () then
+        Obs.Diag.emit
+          (Obs.Diag.make ~stage:"lambda"
+             ~values:[ ("chosen", chosen); ("candidates", float_of_int (Array.length lambdas)) ]
+             ~tags:[ ("method", method_name method_) ]
+             ~curve:(Array.map (fun p -> (p.lambda, p.score)) curve)
+             ());
+      (chosen, curve))
+
+let select problem ~method_ ?rng ?lambdas () =
+  fst (select_with_curve problem ~method_ ?rng ?lambdas ())
 
 let select_result problem ~method_ ?rng ?lambdas () =
   match select problem ~method_ ?rng ?lambdas () with
   | lambda -> Ok lambda
+  | exception Robust.Error.Error e -> Error e
+
+let select_with_curve_result problem ~method_ ?rng ?lambdas () =
+  match select_with_curve problem ~method_ ?rng ?lambdas () with
+  | r -> Ok r
   | exception Robust.Error.Error e -> Error e

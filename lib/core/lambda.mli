@@ -32,6 +32,18 @@ val lcurve : Problem.t -> lambdas:Vec.t -> float * curve_point array
     the `ext_lambda_selection` bench quantifies this. Robust GCV is the
     recommended default. *)
 
+val select_with_curve :
+  Problem.t ->
+  method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
+  ?rng:Rng.t ->
+  ?lambdas:Vec.t ->
+  unit ->
+  float * curve_point array
+(** As {!select}, also returning the full candidate profile the selector
+    scored ([[||]] for [`Fixed]) so callers need not re-run the sweep to
+    plot it. When a trace sink is installed the profile is additionally
+    emitted as a ["lambda"]-stage {!Obs.Diag} event. *)
+
 val select :
   Problem.t ->
   method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
@@ -57,3 +69,13 @@ val select_result :
   unit ->
   (float, Robust.Error.t) result
 (** As {!select}, returning the typed error instead of raising. *)
+
+val select_with_curve_result :
+  Problem.t ->
+  method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
+  ?rng:Rng.t ->
+  ?lambdas:Vec.t ->
+  unit ->
+  (float * curve_point array, Robust.Error.t) result
+(** As {!select_with_curve}, returning the typed error instead of
+    raising. *)

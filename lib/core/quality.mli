@@ -1,0 +1,113 @@
+(** Solution-quality statistics and the diagnose report card.
+
+    This module (with {!Numerics.Stats} and {!Diagnostics}) is where
+    quality statistics — condition number κ of the penalized normal
+    matrix, effective degrees of freedom, residual whiteness/normality
+    tests — are {e computed}; they leave the library only as
+    [Obs.Diag] events on the trace stream (lint rule R14). The CLI's
+    [diagnose] subcommand turns the stream back into per-solve report
+    cards here, and [batch] aggregates per-gene statistics into
+    quantiles. *)
+
+open Numerics
+
+(** {1 Statistics} *)
+
+val edf : Problem.t -> lambda:float -> float
+(** Effective degrees of freedom tr(H) of the unconstrained smoother at
+    λ, via {!Optimize.Ridge.solve}; NaN when the normal matrix is
+    singular. An O(solve) computation — hoist behind {!Obs.Diag.enabled}
+    on hot paths. *)
+
+val kappa : Problem.t -> lambda:float -> float
+(** Spectral condition number κ of [AᵀWA + λΩ]; NaN when singular. *)
+
+val residual_stats : Problem.t -> fitted:Vec.t -> (string * float) list
+(** [("runs_z", z); ("normality_z", z)] on the standardized residuals
+    (g − ĝ)/σ — the whiteness and noise-model moment checks. *)
+
+val emit_solve :
+  ?solve:string ->
+  problem:Problem.t ->
+  fitted:Vec.t ->
+  lambda:float ->
+  entry_lambda:float ->
+  rss:float ->
+  kappa:float ->
+  degradation:int ->
+  active_positivity:int ->
+  qp_iterations:int ->
+  solved_by:string ->
+  cascade:string ->
+  unit ->
+  unit
+(** Build and emit the per-solve ["solve"]-stage diag record. All
+    statistics not passed in (edf, residual tests) are computed here,
+    inside the {!Obs.Diag.enabled} guard — with no sink installed the
+    whole call costs one branch. *)
+
+(** {1 Report cards} *)
+
+type thresholds = {
+  kappa_limit : float;  (** flag κ above this (solver's condition_limit) *)
+  edf_fraction : float;
+      (** flag edf above this fraction of n: the fit is near-interpolating *)
+  whiteness_limit : float;  (** flag |runs z| above this *)
+  normality_limit : float;  (** flag |normality z| above this *)
+}
+
+val default_thresholds : thresholds
+
+type card = {
+  solve : string;
+  kappa : float;
+  lambda : float;
+  entry_lambda : float;
+  edf : float;
+  rss : float;
+  runs_z : float;
+  normality_z : float;
+  n : float;
+  active_positivity : float;
+  qp_iterations : float;
+  degradation : float;
+  solved_by : string;
+  cascade : string;
+  selector : string;  (** λ-selection method, from the ["lambda"] diag *)
+  curve : (float * float) array;  (** λ-candidate profile, ditto *)
+  flags : string list;  (** empty = healthy *)
+}
+
+val cards : ?thresholds:thresholds -> Obs.Export.event list -> card list
+(** One card per solve id carrying a ["solve"]-stage diag record, in
+    first-seen order; the ["lambda"] record of the same solve contributes
+    the selector and candidate profile. Statistics absent from the stream
+    read as NaN. *)
+
+val healthy : card -> bool
+
+val verdict : card -> string
+(** ["healthy"] or the comma-joined flag list. *)
+
+val output_card : ?thresholds:thresholds -> ?plot:bool -> out_channel -> card -> unit
+(** Render one report card; [plot] (default true) draws the λ-profile as
+    an {!Dataio.Ascii_plot} curve when the card carries ≥ 2 finite
+    candidate points. *)
+
+val output_report : ?thresholds:thresholds -> ?plot:bool -> out_channel -> card list -> unit
+(** All cards plus a flagged-solve count footer. *)
+
+val report_json : card list -> string
+(** The machine-readable form: [{"solves":[{...}]}] with exact float
+    round-trip. *)
+
+(** {1 Batch aggregation} *)
+
+type quantiles = { q50 : float; q90 : float; q_max : float; count : int }
+
+val summarize : (string * float) list list -> (string * quantiles) list
+(** Per-statistic quantiles over many solves' stat lists (one list per
+    gene); non-finite values are dropped. Keys appear in first-seen
+    order. *)
+
+val output_quantiles : out_channel -> (string * quantiles) list -> unit

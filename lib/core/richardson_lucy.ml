@@ -58,4 +58,13 @@ let deconvolve ?on_iteration ?(iterations = 100) ?initial ?(min_value = 1e-12) k
       Obs.Span.set_float sp "final_misfit" misfits.(iterations - 1);
       Obs.Metrics.incr "rl.deconvolutions";
       Obs.Metrics.observe "rl.final_misfit" misfits.(iterations - 1);
+      if Obs.Diag.enabled () then
+        Obs.Diag.emit
+          (Obs.Diag.make ~stage:"rl"
+             ~values:
+               [
+                 ("iterations", float_of_int iterations);
+                 ("final_misfit", misfits.(iterations - 1));
+               ]
+             ());
       { profile = !f; fitted = Mat.mv a !f; iterations; misfit_history = misfits })

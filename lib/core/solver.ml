@@ -458,7 +458,32 @@ let solve_robust_validated ~policy ~budget ~lambda problem =
           last_error := e
         end)
     end;
-    (match !result with Some (est, rep) -> Ok (est, rep) | None -> Error !last_error)
+    (match !result with
+    | Some (est, rep) ->
+      (* Per-solve quality record for the observatory. The statistics the
+         cascade already owns (κ, RSS, constraint counts, attempt path)
+         are passed through; edf and the residual tests are computed by
+         Quality inside the Diag.enabled guard — with no sink this call
+         is one branch. *)
+      if Obs.Diag.enabled () then begin
+        let cascade =
+          String.concat ">"
+            (List.map
+               (fun (a : Robust.Report.attempt) ->
+                 Robust.Report.stage_name a.Robust.Report.stage
+                 ^ match a.Robust.Report.outcome with Ok () -> "" | Error _ -> "!")
+               rep.Robust.Report.attempts)
+        in
+        Quality.emit_solve ~problem ~fitted:est.fitted ~lambda:est.lambda ~entry_lambda:lambda
+          ~rss:est.data_misfit
+          ~kappa:(Option.value condition ~default:Float.nan)
+          ~degradation:rep.Robust.Report.degradation
+          ~active_positivity:est.active_positivity ~qp_iterations:est.qp_iterations
+          ~solved_by:(Robust.Report.stage_name rep.Robust.Report.solved_by)
+          ~cascade ()
+      end;
+      Ok (est, rep)
+    | None -> Error !last_error)
 
 let solve_robust ?(policy = default_policy) ?budget ?(lambda = 1e-4) problem =
   Obs.Span.with_ "solver.solve_robust" (fun sp ->

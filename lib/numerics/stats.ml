@@ -111,3 +111,53 @@ let histogram_density { edges; counts } =
         let width = edges.(i + 1) -. edges.(i) in
         c /. (total *. width))
       counts
+
+(* ---------------- residual-whiteness statistics ---------------- *)
+
+(* Wald-Wolfowitz runs test on the signs of a sequence. Under the null
+   (signs are exchangeable — residuals carry no serial structure) the
+   number of sign runs is asymptotically normal; the returned z-score is
+   (observed - expected) / sd. Degenerate sequences (all one sign, or
+   fewer than two elements) score 0: no evidence either way. *)
+let runs_z x =
+  let n = Array.length x in
+  let positives = Array.fold_left (fun acc r -> if r >= 0.0 then acc + 1 else acc) 0 x in
+  let negatives = n - positives in
+  if positives = 0 || negatives = 0 then 0.0
+  else begin
+    let runs = ref 1 in
+    for i = 1 to n - 1 do
+      if not (Bool.equal (x.(i) >= 0.0) (x.(i - 1) >= 0.0)) then incr runs
+    done;
+    let np = float_of_int positives and nn = float_of_int negatives in
+    let total = np +. nn in
+    let expected = (2.0 *. np *. nn /. total) +. 1.0 in
+    let variance =
+      2.0 *. np *. nn *. ((2.0 *. np *. nn) -. total) /. (total *. total *. (total -. 1.0))
+    in
+    if variance <= 0.0 then 0.0 else (float_of_int !runs -. expected) /. sqrt variance
+  end
+
+(* Moment-based normality check: z-scores of sample skewness and excess
+   kurtosis against their null standard errors sqrt(6/n) and sqrt(24/n)
+   (the two components of the Jarque-Bera statistic, kept separate so the
+   caller can see WHICH moment misbehaves). *)
+let moment_z x =
+  let n = Array.length x in
+  if n < 3 then (0.0, 0.0)
+  else begin
+    let nf = float_of_int n in
+    let mu = mean x in
+    let central k = Array.fold_left (fun acc xi -> acc +. ((xi -. mu) ** k)) 0.0 x /. nf in
+    let m2 = central 2.0 in
+    if m2 <= 0.0 then (0.0, 0.0)
+    else begin
+      let skew = central 3.0 /. (m2 ** 1.5) in
+      let kurt = (central 4.0 /. (m2 *. m2)) -. 3.0 in
+      (skew /. sqrt (6.0 /. nf), kurt /. sqrt (24.0 /. nf))
+    end
+  end
+
+let normality_z x =
+  let zs, zk = moment_z x in
+  Float.max (Float.abs zs) (Float.abs zk)

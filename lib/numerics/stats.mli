@@ -32,3 +32,18 @@ val histogram : ?weights:Vec.t -> bins:int -> lo:float -> hi:float -> Vec.t -> h
 
 val histogram_density : histogram -> Vec.t
 (** Counts normalized so the histogram integrates to 1. *)
+
+val runs_z : Vec.t -> float
+(** Wald–Wolfowitz runs-test z-score on the sample's signs: \[|z| > 2.5\]
+    flags serial structure (non-white residuals). Degenerate samples
+    (single sign, n < 2) score 0. *)
+
+val moment_z : Vec.t -> float * float
+(** [(z_skewness, z_excess_kurtosis)] against the normal-null standard
+    errors √(6/n) and √(24/n) — the two Jarque–Bera components, kept
+    separate so the caller can see which moment misbehaves. (0, 0) for
+    degenerate samples. *)
+
+val normality_z : Vec.t -> float
+(** [max |z_skew| |z_kurt|] of {!moment_z}: a one-number normality moment
+    check on standardized residuals. *)

@@ -27,7 +27,7 @@ let base_ts events =
       match ev with
       | Export.Span s -> Float.min acc (span_ts s)
       | Export.Sample s -> Float.min acc (sample_ts s)
-      | Export.Metric _ | Export.Point _ -> acc)
+      | Export.Metric _ | Export.Point _ | Export.Diag _ -> acc)
     Float.infinity events
 
 (* Spans only tag their per-domain roots with a "domain" attribute;
@@ -124,6 +124,6 @@ let output oc events =
                (usec base s.Export.start_s) (tid s)
                (args_json p.Export.values Export.float_json))
         | None -> ())
-      | Export.Metric _ -> ())
+      | Export.Metric _ | Export.Diag _ -> ())
     events;
   output_string oc "\n]}\n"

@@ -1,0 +1,61 @@
+type t = Export.diag = {
+  d_solve : string;
+  d_stage : string;
+  d_values : (string * float) list;
+  d_tags : (string * string) list;
+  d_curve : (float * float) array;
+}
+
+let enabled = Export.tracing
+
+(* The ambient solve label is domain-local: batch genes run on worker
+   domains, and each domain's tasks set their own label without racing
+   the others (same device as Span's per-domain stack). *)
+let solve_key : string option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let with_solve name f =
+  let cell = Domain.DLS.get solve_key in
+  let saved = !cell in
+  cell := Some name;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let solve_label () =
+  match !(Domain.DLS.get solve_key) with Some s -> s | None -> "solve"
+
+let make ?solve ~stage ?(values = []) ?(tags = []) ?(curve = [||]) () =
+  let solve = match solve with Some s -> s | None -> solve_label () in
+  { d_solve = solve; d_stage = stage; d_values = values; d_tags = tags; d_curve = curve }
+
+let emit d = if Export.tracing () then Export.emit (Export.Diag d)
+
+let value d key = List.assoc_opt key d.d_values
+
+let tag d key = List.assoc_opt key d.d_tags
+
+let of_events events =
+  List.filter_map (function Export.Diag d -> Some d | _ -> None) events
+
+(* Group by solve id, preserving first-seen solve order and per-solve
+   emission order — "lambda" before "qp" before "solve" reads as the
+   chronology of one deconvolution. *)
+let by_solve events =
+  let diags = of_events events in
+  let order = ref [] in
+  let tbl : (string, t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt tbl d.d_solve with
+      | Some r -> r := d :: !r
+      | None ->
+        Hashtbl.replace tbl d.d_solve (ref [ d ]);
+        order := d.d_solve :: !order)
+    diags;
+  List.rev_map
+    (fun solve ->
+      match Hashtbl.find_opt tbl solve with
+      | Some r -> (solve, List.rev !r)
+      | None -> (solve, []))
+    !order
+
+let stage d stage_name =
+  List.find_opt (fun x -> String.equal x.d_stage stage_name) d

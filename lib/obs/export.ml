@@ -24,7 +24,20 @@ type point = {
 
 type sample = { s_kind : string; t_s : float; values : (string * float) list }
 
-type event = Span of span | Metric of metric | Point of point | Sample of sample
+type diag = {
+  d_solve : string;
+  d_stage : string;
+  d_values : (string * float) list;
+  d_tags : (string * string) list;
+  d_curve : (float * float) array;
+}
+
+type event =
+  | Span of span
+  | Metric of metric
+  | Point of point
+  | Sample of sample
+  | Diag of diag
 
 (* ---------------- sinks ---------------- *)
 
@@ -121,6 +134,18 @@ let to_json = function
     Printf.sprintf "{\"ev\":\"sample\",\"kind\":\"%s\",\"t\":%s,\"fields\":{%s}}"
       (escape s.s_kind) (float_json s.t_s)
       (pairs_json float_json s.values)
+  | Diag d ->
+    let curve =
+      String.concat ","
+        (Array.to_list
+           (Array.map (fun (l, s) -> Printf.sprintf "[%s,%s]" (float_json l) (float_json s)) d.d_curve))
+    in
+    Printf.sprintf
+      "{\"ev\":\"diag\",\"solve\":\"%s\",\"stage\":\"%s\",\"fields\":{%s},\"tags\":{%s},\"curve\":[%s]}"
+      (escape d.d_solve) (escape d.d_stage)
+      (pairs_json float_json d.d_values)
+      (pairs_json (fun v -> Printf.sprintf "\"%s\"" (escape v)) d.d_tags)
+      curve
 
 let jsonl oc =
   {
@@ -417,6 +442,26 @@ let event_of_document doc =
           values =
             List.map (fun (k, v) -> (k, as_float k v)) (as_obj "fields" (field obj "fields"));
         }
+    | "diag" ->
+      let pair = function
+        | J_arr [ l; s ] -> (as_float "curve" l, as_float "curve" s)
+        | _ -> raise (Bad "field \"curve\": expected [lambda,score] pairs")
+      in
+      let curve =
+        match field obj "curve" with
+        | J_arr elems -> Array.of_list (List.map pair elems)
+        | _ -> raise (Bad "field \"curve\": expected an array")
+      in
+      Diag
+        {
+          d_solve = as_string "solve" (field obj "solve");
+          d_stage = as_string "stage" (field obj "stage");
+          d_values =
+            List.map (fun (k, v) -> (k, as_float k v)) (as_obj "fields" (field obj "fields"));
+          d_tags =
+            List.map (fun (k, v) -> (k, as_string k v)) (as_obj "tags" (field obj "tags"));
+          d_curve = curve;
+        }
     | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other)))
   | _ -> raise (Bad "expected a JSON object")
 
@@ -511,6 +556,9 @@ let aggregate_spans spans =
       match Float.compare tb ta with 0 -> String.compare na nb | c -> c)
     rows
 
+let aggregate_span_rows events =
+  aggregate_spans (List.filter_map (function Span s -> Some s | _ -> None) events)
+
 let output_top oc ~top events =
   let spans = List.filter_map (function Span s -> Some s | _ -> None) events in
   let rows = aggregate_spans spans in
@@ -525,6 +573,41 @@ let output_top oc ~top events =
           (format_seconds self))
       shown
   end
+
+(* Per-kind event totals. The span tree and metrics table silently drop
+   point/sample/diag events, so a truncated trace (killed run, full disk)
+   looks complete without this footer: the counts make every event in the
+   stream accountable. *)
+let output_event_counts oc events =
+  let count_by key items =
+    let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun it ->
+        let k = key it in
+        match Hashtbl.find_opt tbl k with
+        | Some r -> incr r
+        | None -> Hashtbl.replace tbl k (ref 1))
+      items;
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
+  in
+  let spans = List.filter (function Span _ -> true | _ -> false) events in
+  let metrics = List.filter (function Metric _ -> true | _ -> false) events in
+  let points = List.filter_map (function Point p -> Some p | _ -> None) events in
+  let samples = List.filter_map (function Sample s -> Some s | _ -> None) events in
+  let diags = List.filter_map (function Diag d -> Some d | _ -> None) events in
+  Printf.fprintf oc "events: %d total — %d spans, %d metrics, %d points, %d samples, %d diags\n"
+    (List.length events) (List.length spans) (List.length metrics) (List.length points)
+    (List.length samples) (List.length diags);
+  let breakdown label rows =
+    if rows <> [] then
+      Printf.fprintf oc "  %-8s %s\n" label
+        (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) rows))
+  in
+  breakdown "points:" (count_by (fun p -> p.series) points);
+  breakdown "samples:" (count_by (fun s -> s.s_kind) samples);
+  breakdown "diags:" (count_by (fun d -> d.d_stage) diags)
 
 let output_summary oc events =
   let spans = List.filter_map (function Span s -> Some s | _ -> None) events in
@@ -568,4 +651,8 @@ let output_summary oc events =
   in
   render_level 0 (List.sort by_start !roots);
   if spans <> [] && metrics <> [] then Printf.fprintf oc "\n";
-  output_metrics oc metrics
+  output_metrics oc metrics;
+  if events <> [] then begin
+    if spans <> [] || metrics <> [] then Printf.fprintf oc "\n";
+    output_event_counts oc events
+  end

@@ -59,7 +59,34 @@ type sample = {
     heartbeats and pool chunk telemetry. Serialized as
     [{"ev":"sample","kind":...,"t":...,"fields":{...}}]. *)
 
-type event = Span of span | Metric of metric | Point of point | Sample of sample
+type diag = {
+  d_solve : string;
+      (** which solve the record belongs to: ["gene:12"] under a batch,
+          ["solve"] for a single-profile run — the join key for
+          [trace diff] *)
+  d_stage : string;
+      (** emitting stage: ["solve"] (the per-solve quality record from
+          {!Solver.solve_robust}), ["lambda"] (candidate profile),
+          ["qp"], ["rl"] *)
+  d_values : (string * float) list;
+      (** scalar quality statistics — κ, λ, edf, RSS, runs-test z, ... *)
+  d_tags : (string * string) list;
+      (** string facts: selector method, cascade path, outcome *)
+  d_curve : (float * float) array;
+      (** λ-candidate profile as (lambda, score) pairs; empty for stages
+          that carry no curve *)
+}
+(** One solution-quality record. Serialized as
+    [{"ev":"diag","solve":...,"stage":...,"fields":{...},"tags":{...},
+    "curve":[[l,s],...]}] with the same exact float round-trip as
+    {!sample} fields. *)
+
+type event =
+  | Span of span
+  | Metric of metric
+  | Point of point
+  | Sample of sample
+  | Diag of diag
 
 (** {1 Sinks} *)
 
@@ -120,6 +147,20 @@ val output_top : out_channel -> top:int -> event list -> unit
 (** Flat aggregate of the spans in the stream: one row per span name with
     call count, total and self wall time, sorted by total descending.
     [top] bounds the number of rows ([<= 0] prints all). *)
+
+val output_event_counts : out_channel -> event list -> unit
+(** Per-kind event totals (spans/metrics/points/samples/diags, with
+    points, samples and diags broken down by series/kind/stage). The span
+    tree and metrics table ignore point-like events entirely, so this
+    footer is what makes a truncated trace visible. Appended to
+    [output_summary] automatically; exposed for callers that render their
+    own report. *)
+
+val aggregate_span_rows : event list -> (string * int * float * float) list
+(** Per-span-name totals over the stream's spans:
+    [(name, calls, total_s, self_s)] sorted by total descending — the
+    table behind [output_top], exposed so trace-comparison tooling can
+    diff two streams without re-deriving parentage. *)
 
 (** {1 Generic JSON}
 

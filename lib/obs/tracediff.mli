@@ -1,0 +1,61 @@
+(** Cross-run trace comparison: [deconv-cli trace diff A B].
+
+    Two JSONL traces of the same workload are compared on two axes:
+
+    - {b wall time} — per-span-name totals (the [trace summarize --top]
+      table) diffed with the same noise-aware gate as [bench compare]:
+      a multiplicative {!Trajectory.thresholds.tolerance} band, plus an
+      absolute noise floor below which spans are skipped rather than
+      gated. Because a trace total is a single wall-clock sample (not an
+      OLS fit over many runs), a verdict additionally requires the
+      absolute drift to clear a 5 ms delta floor — ms-scale spans
+      routinely drift 30–50% between process invocations from caching
+      and scheduling alone.
+    - {b quality} — per-solve diag records joined by solve id and
+      compared statistic-by-statistic, {e exactly}: quality numbers are
+      deterministic given the inputs, so any bit-level difference in κ,
+      λ, edf, residual statistics or a λ-profile point is a reportable
+      drift, no tolerance applied. NaN = NaN counts as equal (both runs
+      failing to produce a statistic is not a delta).
+
+    Together they let a perf PR prove "faster and bit-identical quality"
+    from two trace files alone. *)
+
+type time_row = {
+  span : string;
+  calls_a : int;
+  calls_b : int;
+  total_a : float;  (** summed wall seconds in A; NaN when absent *)
+  total_b : float;
+  ratio : float;  (** [total_b /. total_a]; NaN when either side absent *)
+  verdict : Trajectory.verdict;
+}
+
+type quality_row = {
+  solve : string;  (** join key, e.g. ["gene:12"] *)
+  stat : string;  (** ["stage/field"], e.g. ["solve/kappa"] *)
+  value_a : float;
+  value_b : float;
+}
+
+type t = {
+  time : time_row list;  (** A's span order, then spans only in B *)
+  quality : quality_row list;  (** only differing statistics *)
+  quality_checked : int;  (** statistics compared across both traces *)
+  only_a : string list;  (** solve ids with diag records only in A *)
+  only_b : string list;
+}
+
+val diff :
+  ?thresholds:Trajectory.thresholds -> Export.event list -> Export.event list -> t
+(** [diff A B] treats A as the baseline. Thresholds default to
+    {!Trajectory.default_thresholds}. *)
+
+val has_regression : t -> bool
+(** Any time row gated [Regression]. Quality drift is reported separately
+    ({!has_quality_delta}) — it is a correctness signal, not a perf one. *)
+
+val has_quality_delta : t -> bool
+
+val output : out_channel -> t -> unit
+(** Render the time table, the quality deltas and a one-line verdict. *)

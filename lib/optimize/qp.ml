@@ -263,4 +263,19 @@ let solve ?on_iteration ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) 
       Obs.Metrics.incr ~by:(float_of_int sol.iterations) "qp.iterations";
       Obs.Metrics.observe "qp.iterations_per_solve" (float_of_int sol.iterations);
       Obs.Metrics.observe "qp.active_constraints" (float_of_int (List.length sol.active));
+      if Obs.Diag.enabled () then
+        Obs.Diag.emit
+          (Obs.Diag.make ~stage:"qp"
+             ~values:
+               [
+                 ("n", float_of_int problem.h.Mat.rows);
+                 ( "m_ineq",
+                   float_of_int (match problem.a_ineq with Some a -> a.Mat.rows | None -> 0) );
+                 ("iterations", float_of_int sol.iterations);
+                 ("active", float_of_int (List.length sol.active));
+                 ("kkt_residual", sol.kkt_residual);
+               ]
+             ~tags:
+               [ ("status", match sol.status with Converged -> "converged" | Stalled -> "stalled") ]
+             ());
       sol)

@@ -194,6 +194,32 @@ let test_r13_negative () =
     "let b = Gc.allocated_bytes () (* lint: allow R13 -- one-off allocation probe in a test \
      helper *)"
 
+(* R14: quality-statistic primitives outside lib/numerics and lib/core. *)
+
+let test_r14_positive () =
+  check_rules "condition number in an outer library layer" [ "R14" ]
+    ~path:"lib/cellpop/scratch.ml" "let k a = Linalg.condition_spd a";
+  check_rules "fully qualified condition number" [ "R14" ] ~path:"lib/dataio/scratch.ml"
+    "let k a = Numerics.Linalg.condition_spd a";
+  check_rules "runs test outside the quality layers" [ "R14" ] ~path:"lib/robust/scratch.ml"
+    "let z r = Stats.runs_z r";
+  check_rules "normality test, fully qualified" [ "R14" ] ~path:"lib/spline/scratch.ml"
+    "let z r = Numerics.Stats.normality_z r";
+  check_rules "bare reference is caught like an application" [ "R14" ]
+    ~path:"lib/optimize/scratch.ml" "let f = Stats.moment_z"
+
+let test_r14_negative () =
+  check_rules "lib/numerics owns the statistic kernels" [] ~path:"lib/numerics/scratch.ml"
+    "let z r = runs_z r\nlet k a = condition_spd a";
+  check_rules "lib/core assembles quality records" [] ~path:"lib/core/scratch.ml"
+    "let z r = Stats.runs_z r";
+  check_rules "R14 is lib-only: the CLI renders via Quality" [] ~path:"bin/scratch.ml"
+    "let k a = Numerics.Linalg.condition_spd a";
+  check_rules "other Stats functions are fine anywhere" [] ~path:"lib/robust/scratch.ml"
+    "let m r = Stats.mean r";
+  check_rules "a suppression with a reason still works" [] ~path:"lib/robust/scratch.ml"
+    "let z r = Stats.runs_z r (* lint: allow R14 -- doc example, not a reimplementation *)"
+
 (* Suppressions and R0. *)
 
 let test_suppression_trailing () =
@@ -318,6 +344,8 @@ let tests =
         case "r9 negative" test_r9_negative;
         case "r13 positive" test_r13_positive;
         case "r13 negative" test_r13_negative;
+        case "r14 positive" test_r14_positive;
+        case "r14 negative" test_r14_negative;
       ] );
     ( "lint-suppress",
       [

@@ -23,6 +23,7 @@ let span_of = function
   | Obs.Export.Metric m -> Alcotest.failf "expected a span, got metric %s" m.Obs.Export.metric_name
   | Obs.Export.Point p -> Alcotest.failf "expected a span, got point %s" p.Obs.Export.series
   | Obs.Export.Sample s -> Alcotest.failf "expected a span, got sample %s" s.Obs.Export.s_kind
+  | Obs.Export.Diag d -> Alcotest.failf "expected a span, got diag %s" d.Obs.Export.d_stage
 
 let spans events = List.filter_map (function Obs.Export.Span s -> Some s | _ -> None) events
 
