@@ -1298,8 +1298,18 @@ let micro () =
              for _ = 1 to 1000 do
                ignore (Cellpop.Cell.draw_phi_sst params rng)
              done));
-      Test.make ~name:"fig2_forward_model"
-        (Staged.stage (fun () -> ignore (Deconv.Forward.apply_fn kernel f1)));
+      (* A single forward application sits near the timer's noise floor
+         (r^2 hovered around the 0.9 `bench compare` gate, so the record
+         kept dropping out of comparison); 10 iterations behind
+         Sys.opaque_identity lift the fixture into a clean linear fit.
+         Renamed with the unit change — one run is now 10 applications —
+         so the trajectory never diffs the new shape against the old
+         per-application records. *)
+      Test.make ~name:"fig2_forward_model_x10"
+        (Staged.stage (fun () ->
+             for _ = 1 to 10 do
+               ignore (Sys.opaque_identity (Deconv.Forward.apply_fn kernel f1))
+             done));
       Test.make ~name:"fig3_constrained_solve"
         (Staged.stage (fun () -> ignore (Deconv.Solver.solve ~lambda:1e-4 problem)));
       Test.make ~name:"fig4_population_sim_500"
@@ -1312,10 +1322,28 @@ let micro () =
              ignore
                (Cellpop.Kernel.estimate params ~rng:(Rng.create 4) ~n_cells:500 ~times
                   ~n_phi:101)));
+      (* Cold path: every run pays the Demmler-Reinsch factorization plus
+         7 O(n) candidate evaluations (before the spectral layer this was
+         7 full Ridge solves). *)
       Test.make ~name:"gcv_lambda_scan"
         (Staged.stage (fun () ->
              let lambdas = Optimize.Cross_validation.log_lambda_grid ~lo:(-6.0) ~hi:0.0 ~count:7 in
              ignore (Deconv.Lambda.gcv problem ~lambdas)));
+      (* Warm path: the factorization is cached outside the timed region,
+         so this is the marginal per-gene cost of the λ sweep inside a
+         batch where all genes share one kernel. The body is microseconds,
+         so loop 10x behind Sys.opaque_identity for a stable OLS fit. *)
+      Test.make ~name:"lambda_select_spectral"
+        (Staged.stage
+           (let cache = Optimize.Spectral.Cache.create () in
+            let lambdas =
+              Optimize.Cross_validation.log_lambda_grid ~lo:(-6.0) ~hi:0.0 ~count:7
+            in
+            ignore (Deconv.Lambda.gcv ~cache problem ~lambdas);
+            fun () ->
+              for _ = 1 to 10 do
+                ignore (Sys.opaque_identity (Deconv.Lambda.gcv ~cache problem ~lambdas))
+              done));
       Test.make ~name:"spline_penalty_12"
         (Staged.stage (fun () -> ignore (Spline.Penalty.second_derivative basis)));
       Test.make ~name:"linalg_cholesky_40"
@@ -1763,6 +1791,82 @@ let macro_mt () =
     (List.length records) path rev ambient
 
 (* ------------------------------------------------------------------ *)
+(* Macro benchmark: batch deconvolution throughput (genes/sec).        *)
+(* ------------------------------------------------------------------ *)
+
+(* A small genome-scale batch: the 12-gene cell-cycle panel tiled to 48
+   genes with fresh 5% noise each, solved through the fault-isolated
+   batch path with GCV per gene — so one shared spectral factorization
+   amortizes across the whole batch. The record stores ns per gene (a
+   size-independent number for `bench compare`); the console line adds
+   the genes/sec reading. *)
+let macro_batch () =
+  section "macro_batch (batch deconvolution throughput, genes/sec)";
+  let params = Cellpop.Params.paper_2011 in
+  let times = lv_times in
+  let kernel =
+    Cellpop.Kernel.estimate ~smooth_window:5 params ~rng:(Rng.create 313) ~n_cells:2000
+      ~times ~n_phi:101
+  in
+  let basis = Spline.Natural.with_uniform_knots ~lo:0.0 ~hi:1.0 ~num_knots:12 in
+  let batch = Deconv.Batch.prepare ~kernel ~basis ~params () in
+  let genes = Biomodels.Cell_cycle_genes.panel in
+  let tile = 4 in
+  let n_genes = tile * Array.length genes in
+  let rng = Rng.create 314 in
+  let rows =
+    Array.init n_genes (fun i ->
+        let g = genes.(i mod Array.length genes) in
+        let clean = Deconv.Forward.apply_fn kernel g.Biomodels.Cell_cycle_genes.profile in
+        fst (Deconv.Noise.apply (Deconv.Noise.Gaussian_fraction 0.05) (Rng.split rng) clean))
+  in
+  let measurements = Mat.of_rows rows in
+  let job () =
+    let outcome = Deconv.Batch.solve_all_result batch ~measurements () in
+    if not (Deconv.Batch.Outcome.fully_ok outcome) then begin
+      Printf.eprintf "macro_batch: %d/%d genes failed\n"
+        (Deconv.Batch.Outcome.failed_count outcome) n_genes;
+      exit 1
+    end
+  in
+  (* Warm-up: pool spawn, allocator, and the factorization's first miss
+     all land outside the timed region. *)
+  ignore (Parallel.default ());
+  job ();
+  let runs = 3 in
+  let acc = ref 0.0 in
+  for _ = 1 to runs do
+    acc := !acc +. clock_ns job
+  done;
+  let per_gene = !acc /. float_of_int runs /. float_of_int n_genes in
+  Printf.printf "  %-28s %14.0f ns/gene  (%.1f genes/sec, %d genes, mean of %d)\n"
+    "macro.batch_solve" per_gene (1e9 /. per_gene) n_genes runs;
+  let record =
+    {
+      Obs.Trajectory.name = "macro.batch_solve";
+      rev = Obs.Trajectory.git_rev ();
+      kind = Obs.Trajectory.Macro;
+      ns_per_run = per_gene;
+      r_square = Float.nan;
+      runs;
+      (* genes per batch, so a reader can reconstruct the total. *)
+      iterations = float_of_int n_genes;
+      domains = Parallel.jobs ();
+    }
+  in
+  let path = "BENCH_deconv.json" in
+  let existing =
+    match Obs.Trajectory.load ~path with
+    | Ok t -> t
+    | Error msg ->
+      Printf.eprintf "warning: %s unreadable (%s); starting a fresh trajectory\n" path msg;
+      Obs.Trajectory.empty
+  in
+  Obs.Trajectory.save (Obs.Trajectory.append existing record) ~path;
+  Printf.printf "appended macro.batch_solve to %s (rev %s)\n" path
+    record.Obs.Trajectory.rev
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1797,6 +1901,7 @@ let sections =
     ("micro", micro);
     ("macro", macro_section ~smoke:false);
     ("macro_mt", macro_mt);
+    ("macro_batch", macro_batch);
     ("macro_smoke", macro_section ~smoke:true);
   ]
 

@@ -63,6 +63,17 @@ let in_quality path =
   | _file :: dir :: _ -> String.equal dir "numerics" || String.equal dir "core"
   | _ -> false
 
+(* The factorization layers: lib/numerics implements the decompositions and
+   lib/optimize wraps them (Spectral, Ridge) with anchoring, caching and
+   telemetry — the only library code allowed to call the eigensolver and
+   triangular-substitution primitives directly (rule R14's second clause). *)
+let in_factorization path =
+  in_lib path
+  &&
+  match List.rev (segments path) with
+  | _file :: dir :: _ -> String.equal dir "numerics" || String.equal dir "optimize"
+  | _ -> false
+
 (* ---------------- rule implementations ---------------- *)
 
 (* The paper constants of rule R4: phi_sst ~ N(0.15, (0.13*0.15)^2), the
@@ -197,6 +208,7 @@ type ctx = {
   conc : bool;  (* under lib/parallel/ or lib/obs/: exempt from R8 *)
   atomic : bool;  (* lib/dataio/atomic_file.ml: exempt from R9 *)
   quality : bool;  (* under lib/numerics/ or lib/core/: exempt from R14 *)
+  factorization : bool;  (* under lib/numerics/ or lib/optimize/: R14 clause 2 *)
   mutable in_data : bool;  (* inside an array/list literal (data table) *)
   mutable acc : Finding.t list;
 }
@@ -415,31 +427,53 @@ let check_r13 ctx e =
    the fully qualified [Numerics.Stats.runs_z] are caught. *)
 let r14_stats_fns = [ "runs_z"; "moment_z"; "normality_z" ]
 
+(* R14 clause 2: decomposition internals outside lib/numerics and
+   lib/optimize. lib/core consumes factorizations through Optimize.Spectral
+   and Optimize.Ridge, which own the anchoring, the cross-solve cache and
+   the spans — a raw eigensolver or triangular-substitution call bypasses
+   all three. *)
+let r14_factorization_fns =
+  [ "jacobi_eigen"; "generalized_eigen_spd"; "lower_solve"; "lower_transpose_solve" ]
+
 let check_r14 ctx e =
-  if ctx.lib && not ctx.quality then
-    match e.pexp_desc with
-    | Pexp_ident { txt = lid; _ } -> (
+  match e.pexp_desc with
+  | Pexp_ident { txt = lid; _ } -> (
+    (if ctx.lib && not ctx.quality then
+       match lid with
+       | Ldot (Lident "Linalg", "condition_spd")
+       | Ldot (Ldot (_, "Linalg"), "condition_spd") ->
+         report ctx ~loc:e.pexp_loc ~rule:"R14"
+           ~message:
+             "condition-number computation outside the quality layers: κ is a quality \
+              statistic and is reported through Obs.Diag"
+           ~hint:
+             "use Quality.kappa (or Solver's cascade, which already records it) and let the \
+              diag stream carry the value"
+       | Ldot (Lident "Stats", fn) | Ldot (Ldot (_, "Stats"), fn)
+         when List.exists (String.equal fn) r14_stats_fns ->
+         report ctx ~loc:e.pexp_loc ~rule:"R14"
+           ~message:
+             (Printf.sprintf
+                "residual-test statistic Stats.%s referenced outside the quality layers" fn)
+           ~hint:
+             "route through Quality.residual_stats / Diagnostics so the statistic has one \
+              definition, and emit it as an Obs.Diag event instead of printing it"
+       | _ -> ());
+    if ctx.lib && not ctx.factorization then
       match lid with
-      | Ldot (Lident "Linalg", "condition_spd")
-      | Ldot (Ldot (_, "Linalg"), "condition_spd") ->
-        report ctx ~loc:e.pexp_loc ~rule:"R14"
-          ~message:
-            "condition-number computation outside the quality layers: κ is a quality \
-             statistic and is reported through Obs.Diag"
-          ~hint:
-            "use Quality.kappa (or Solver's cascade, which already records it) and let the \
-             diag stream carry the value"
-      | Ldot (Lident "Stats", fn) | Ldot (Ldot (_, "Stats"), fn)
-        when List.exists (String.equal fn) r14_stats_fns ->
+      | Ldot (Lident "Linalg", fn) | Ldot (Ldot (_, "Linalg"), fn)
+        when List.exists (String.equal fn) r14_factorization_fns ->
         report ctx ~loc:e.pexp_loc ~rule:"R14"
           ~message:
             (Printf.sprintf
-               "residual-test statistic Stats.%s referenced outside the quality layers" fn)
+               "factorization internal Linalg.%s referenced outside lib/numerics and \
+                lib/optimize"
+               fn)
           ~hint:
-            "route through Quality.residual_stats / Diagnostics so the statistic has one \
-             definition, and emit it as an Obs.Diag event instead of printing it"
+            "consume the decomposition through Optimize.Spectral (or Optimize.Ridge), which \
+             owns the anchoring, the factorization cache and the telemetry spans"
       | _ -> ())
-    | _ -> ()
+  | _ -> ()
 
 let check_r6 ctx f args =
   let is_ignore e =
@@ -529,6 +563,7 @@ let walk_source ~path source =
           conc = in_obs path || in_parallel path;
           atomic = is_atomic_file path;
           quality = in_quality path;
+          factorization = in_factorization path;
           in_data = false;
           acc = [];
         }

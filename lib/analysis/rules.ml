@@ -201,7 +201,14 @@ let all =
          them. A per-module reimplementation (or an ad-hoc Printf of a \
          condition number) forks the definition: the report card and the \
          module would disagree about the same solve. Call into Quality, or \
-         emit an Obs.Diag record and let the CLI render it.";
+         emit an Obs.Diag record and let the CLI render it. The rule also \
+         confines the factorization internals (Linalg.jacobi_eigen, \
+         Linalg.generalized_eigen_spd, Linalg.lower_solve, \
+         Linalg.lower_transpose_solve) to lib/numerics and lib/optimize: \
+         lib/core consumes decompositions through Optimize.Spectral / \
+         Optimize.Ridge, never by calling the eigensolver or triangular \
+         substitutions directly — a raw call there would bypass the \
+         anchoring, caching and telemetry those wrappers own.";
     };
   ]
 

@@ -18,7 +18,7 @@ let problem_for t ?sigmas measurements =
     ~use_rate_continuity:t.use_rate_continuity ?sigmas ~kernel:t.kernel ~basis:t.basis
     ~measurements ~params:t.params ()
 
-let solve_gene t ?sigmas ?(lambda = `Gcv) ~measurements () =
+let solve_gene t ?sigmas ?(lambda = `Gcv) ?cache ~measurements () =
   let problem = problem_for t ?sigmas measurements in
   let lambda =
     match lambda with
@@ -28,13 +28,13 @@ let solve_gene t ?sigmas ?(lambda = `Gcv) ~measurements () =
          infinitely bad), but the final factorization at the chosen λ can
          still fail; that failure crosses this typed-error boundary as
          Robust.Error, matching Solver.solve. *)
-      match Lambda.select problem ~method_:`Gcv () with
+      match Lambda.select problem ~method_:`Gcv ?cache () with
       | l -> l
       | exception Linalg.Singular _ ->
         Robust.Error.raise_error
           (Robust.Error.Ill_conditioned { cond = Float.infinity }))
   in
-  Solver.solve ~lambda problem
+  Solver.solve ~lambda ?cache problem
 
 (* ---------------- fault-isolated batch ---------------- *)
 
@@ -79,7 +79,7 @@ let gene_key t ?sigmas ~lambda ~measurements () =
       (match sigmas with None -> "none" | Some s -> Checkpoint.vec_part s);
     ]
 
-let solve_gene_result t ?sigmas ?(lambda = `Gcv) ?budget ~measurements () =
+let solve_gene_result t ?sigmas ?(lambda = `Gcv) ?budget ?cache ~measurements () =
   match
     let problem = problem_for t ?sigmas measurements in
     match Problem.validate problem with
@@ -93,11 +93,11 @@ let solve_gene_result t ?sigmas ?(lambda = `Gcv) ?budget ~measurements () =
             Error
               (Robust.Error.Invalid_input
                  { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" l })
-        | `Gcv -> Lambda.select_result problem ~method_:`Gcv ()
+        | `Gcv -> Lambda.select_result problem ~method_:`Gcv ?cache ()
       with
       | Error e -> Error e
       | Ok lam ->
-        let est = Solver.solve ?budget ~lambda:lam problem in
+        let est = Solver.solve ?budget ~lambda:lam ?cache problem in
         if Solver.finite_estimate est then begin
           (* Batch genes go through the raw solve (no cascade), so the
              per-solve quality record is emitted here; κ is recomputed
@@ -190,6 +190,14 @@ let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?jo
     Array.of_list
       (List.filter (fun g -> outcomes.(g) = None) (List.init genes (fun g -> g)))
   in
+  (* One factorization cache for the whole batch: genes share the kernel
+     (and, absent per-gene sigmas, the weights), so their penalized
+     systems hash to the same key and the Demmler–Reinsch decomposition
+     is computed once, not per gene. Created locally and passed down —
+     never module-level state — so worker-domain access stays inside the
+     cache's lock-free CAS discipline and results cannot depend on jobs
+     count (cache entries are pure functions of their keys). *)
+  let cache = Optimize.Spectral.Cache.create () in
   (match progress with
   | Some p -> Obs.Progress.record_replayed p !replayed
   | None -> ());
@@ -226,7 +234,7 @@ let solve_all_result t ?sigmas ?(lambda = `Gcv) ?max_seconds ?max_iterations ?jo
           (* Diag records emitted inside key by gene id, so trace diff
              can join per-gene quality across two batch runs. *)
           Obs.Diag.with_solve (Printf.sprintf "gene:%d" g) (fun () ->
-              solve_gene_result t ?sigmas:(sigma_row g) ~lambda ?budget
+              solve_gene_result t ?sigmas:(sigma_row g) ~lambda ?budget ~cache
                 ~measurements:(Mat.row measurements g) ()))
     in
     let fresh = ref [] in

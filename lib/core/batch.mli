@@ -22,10 +22,14 @@ val solve_gene :
   t ->
   ?sigmas:Vec.t ->
   ?lambda:[ `Fixed of float | `Gcv ] ->
+  ?cache:Optimize.Spectral.Cache.t ->
   measurements:Vec.t ->
   unit ->
   Solver.estimate
-(** Deconvolve one gene ([`Gcv] is the default λ policy). *)
+(** Deconvolve one gene ([`Gcv] is the default λ policy). [cache] shares
+    the spectral factorization of the penalized system across genes — the
+    λ sweep and the QP warm start both read from it (see
+    {!Optimize.Spectral}). *)
 
 val solve_all :
   t ->
@@ -46,6 +50,7 @@ val solve_gene_result :
   ?sigmas:Vec.t ->
   ?lambda:[ `Fixed of float | `Gcv ] ->
   ?budget:Robust.Budget.t ->
+  ?cache:Optimize.Spectral.Cache.t ->
   measurements:Vec.t ->
   unit ->
   (Solver.estimate, Robust.Error.t) result
@@ -53,7 +58,8 @@ val solve_gene_result :
     checks finiteness — any failure (including an arbitrary exception,
     via {!Robust.Error.of_exn}) becomes a typed [Error] instead of a
     raise. On a clean gene the estimate is bit-for-bit identical to
-    {!solve_gene}'s. *)
+    {!solve_gene}'s (given the same [cache] policy — {!solve_all_result}
+    always passes one, shared by the whole batch). *)
 
 (** Aggregate report of a fault-isolated batch. *)
 module Outcome : sig

@@ -28,6 +28,13 @@ let residual ?(replicates = 200) ?(level = 0.9) problem (estimate : Solver.estim
   for b = 0 to replicates - 1 do
     rngs.(b) <- Rng.split rng
   done;
+  (* Replicates share the design, weights and penalty (only measurements
+     are resampled), so one locally created factorization cache serves the
+     whole fan-out: a single Demmler–Reinsch decomposition warm-starts
+     every replicate's QP. [residual_result] wires its cache identically —
+     the bit-identical contract between the two paths includes the solver
+     route. *)
+  let cache = Optimize.Spectral.Cache.create () in
   Parallel.parallel_for ~n:replicates (fun ~lo ~hi ->
       for b = lo to hi - 1 do
         let brng = rngs.(b) in
@@ -36,7 +43,7 @@ let residual ?(replicates = 200) ?(level = 0.9) problem (estimate : Solver.estim
           resampled.(m) <- fitted.(m) +. (sigmas.(m) *. Rng.pick brng standardized)
         done;
         let problem_b = { problem with Problem.measurements = resampled } in
-        let estimate_b = Solver.solve ~lambda:estimate.Solver.lambda problem_b in
+        let estimate_b = Solver.solve ~lambda:estimate.Solver.lambda ~cache problem_b in
         Mat.set_row profiles b estimate_b.Solver.profile
       done);
   let alpha = (1.0 -. level) /. 2.0 in
@@ -73,6 +80,10 @@ let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterati
   for b = 0 to replicates - 1 do
     rngs.(b) <- Rng.split rng
   done;
+  (* Factorization cache wired exactly as in [residual]: one decomposition
+     shared by all replicates, so both paths take the same solver route and
+     successful replicates stay bit-identical between them. *)
+  let cache = Optimize.Spectral.Cache.create () in
   (* Same aggregation-only contract as Batch: fires on worker domains,
      Progress is mutex-guarded, replicate profiles are unaffected. *)
   let on_result _ res =
@@ -96,7 +107,9 @@ let residual_result ?(replicates = 200) ?(level = 0.9) ?max_seconds ?max_iterati
               if max_seconds = None && max_iterations = None then None
               else Some (Robust.Budget.create ?max_seconds ?max_iterations ())
             in
-            let estimate_b = Solver.solve ?budget ~lambda:estimate.Solver.lambda problem_b in
+            let estimate_b =
+              Solver.solve ?budget ~lambda:estimate.Solver.lambda ~cache problem_b
+            in
             if Solver.finite_estimate estimate_b then
               ( estimate_b.Solver.profile,
                 [

@@ -33,12 +33,47 @@ let guarded_score lambda score_of =
       Obs.Span.set_float sp "score" score;
       score)
 
-let fail_if_all_non_finite ~selector (best : 'a Optimize.Cross_validation.score) =
-  if not (Float.is_finite best.Optimize.Cross_validation.score) then
+let fail_if_all_non_finite ~selector best_score =
+  if not (Float.is_finite best_score) then
     Robust.Error.raise_error
       (Robust.Error.Non_finite { stage = "lambda selection (" ^ selector ^ ")" })
 
-let gcv problem ~lambdas =
+(* Sequential sweep for the spectral fast path: each candidate costs O(n),
+   far below the pool's dispatch overhead, so fanning out would only slow
+   it down. Argmin semantics match Cross_validation.select exactly (strict
+   <, index order, so the first of tied winners is chosen). *)
+let sweep ~lambdas ~score_of =
+  assert (Array.length lambdas > 0);
+  let curve =
+    Array.map (fun lambda -> { lambda; score = guarded_score lambda score_of }) lambdas
+  in
+  let best = ref curve.(0) in
+  Array.iter (fun p -> if p.score < !best.score then best := p) curve;
+  (!best, curve)
+
+(* One Demmler–Reinsch factorization of the problem's penalized system
+   (through [cache] when the caller shares one across genes/replicates)
+   plus the data's spectral coordinates. Raises Linalg.Singular when even
+   the anchored Gram side cannot be factored; selectors then fall back to
+   the direct per-candidate path. *)
+let spectral_projection ?cache problem =
+  let a = Problem.design problem in
+  let w = Problem.weights problem in
+  let omega = Problem.penalty problem in
+  let fact = Optimize.Spectral.factorize_problem ?cache ~a ~weights:w ~penalty:omega () in
+  let proj =
+    Optimize.Spectral.project_data fact ~a ~weights:w ~b:problem.Problem.measurements
+  in
+  (fact, proj)
+
+let gcv_score ~n ~rss ~edf =
+  let denom = n -. (robust_gamma *. edf) in
+  if denom <= 0.0 then Float.infinity else n *. rss /. (denom *. denom)
+
+(* Direct reference path: one Ridge solve (Cholesky + per-row edf) per
+   candidate. Kept verbatim as the fallback when the spectral factorization
+   fails, and as the equivalence oracle for the fast path's tests. *)
+let gcv_direct problem ~lambdas =
   let a = Problem.design problem in
   let w = Problem.weights problem in
   let omega = Problem.penalty problem in
@@ -52,37 +87,48 @@ let gcv problem ~lambdas =
         ~lambda ()
     with
     | exception Linalg.Singular _ -> Float.infinity
-    | fit ->
-      let denom = n -. (robust_gamma *. fit.Optimize.Ridge.edf) in
-      if denom <= 0.0 then Float.infinity else n *. fit.Optimize.Ridge.rss /. (denom *. denom)
+    | fit -> gcv_score ~n ~rss:fit.Optimize.Ridge.rss ~edf:fit.Optimize.Ridge.edf
   in
   let best, curve =
     Optimize.Cross_validation.select ~lambdas ~fit_and_score:(fun lambda ->
         ((), guarded_score lambda score_of))
   in
-  fail_if_all_non_finite ~selector:"GCV" best;
+  fail_if_all_non_finite ~selector:"GCV" best.Optimize.Cross_validation.score;
   ( best.Optimize.Cross_validation.lambda,
     Array.map
       (fun (s : unit Optimize.Cross_validation.score) ->
         { lambda = s.Optimize.Cross_validation.lambda; score = s.Optimize.Cross_validation.score })
       curve )
 
-let kfold problem ~rng ~k ~lambdas =
+let gcv ?cache problem ~lambdas =
+  match spectral_projection ?cache problem with
+  | exception Linalg.Singular _ -> gcv_direct problem ~lambdas
+  | fact, proj ->
+    let n = float_of_int (Problem.num_measurements problem) in
+    (* As in [gcv_direct]: the Singular catch sits inside [score_of] itself,
+       at the raise's nearest boundary — a candidate whose shifted system is
+       singular scores as infinitely bad. *)
+    let score_of lambda =
+      match Optimize.Spectral.evaluate fact proj ~lambda with
+      | exception Linalg.Singular _ -> Float.infinity
+      | s -> gcv_score ~n ~rss:s.Optimize.Spectral.rss ~edf:s.Optimize.Spectral.edf
+    in
+    let best, curve = sweep ~lambdas ~score_of in
+    fail_if_all_non_finite ~selector:"GCV" best.score;
+    (best.lambda, curve)
+
+let submatrix (a : Mat.t) rows =
+  Mat.init (Array.length rows) a.Mat.cols (fun i j -> Mat.get a rows.(i) j)
+
+let subvec rows v = Array.map (fun i -> v.(i)) rows
+
+let kfold_direct problem ~fold_master ~k ~lambdas =
   let a = Problem.design problem in
   let w = Problem.weights problem in
   let omega = Problem.penalty problem in
   let b = problem.Problem.measurements in
   let n = Array.length b in
-  let submatrix rows =
-    Mat.init (Array.length rows) a.Mat.cols (fun i j -> Mat.get a rows.(i) j)
-  in
-  let subvec rows v = Array.map (fun i -> v.(i)) rows in
-  (* One fold master for the whole sweep so every λ sees the same folds.
-     [split] (not a truncated raw draw) keeps the derivation well-defined,
-     and each candidate scores against a private [copy] — the master is
-     never mutated during the sweep, so parallel candidates share folds
-     without sharing generator state. *)
-  let fold_master = Rng.split rng in
+  let submatrix = submatrix a in
   (* As in [gcv]: a fold whose normal matrix is singular scores the
      candidate as infinitely bad, handled right here at the boundary. *)
   let score_of lambda =
@@ -110,40 +156,92 @@ let kfold problem ~rng ~k ~lambdas =
     Optimize.Cross_validation.select ~lambdas ~fit_and_score:(fun lambda ->
         ((), guarded_score lambda score_of))
   in
-  fail_if_all_non_finite ~selector:"k-fold CV" best;
+  fail_if_all_non_finite ~selector:"k-fold CV" best.Optimize.Cross_validation.score;
   ( best.Optimize.Cross_validation.lambda,
     Array.map
       (fun (s : unit Optimize.Cross_validation.score) ->
         { lambda = s.Optimize.Cross_validation.lambda; score = s.Optimize.Cross_validation.score })
       curve )
 
-(* L-curve: solve the unconstrained smoothing problem along the grid and
-   find the corner — the point of maximum discrete curvature of
-   (log misfit(λ), log roughness(λ)) (Hansen). *)
-let lcurve problem ~lambdas =
-  let n_l = Array.length lambdas in
-  assert (n_l >= 3);
-  (* Candidates whose solve fails or yields non-finite misfit/roughness are
-     dropped (None): they take no part in the curvature search. Each
-     unconstrained solve is independent, so the grid fans out across the
-     default pool; the curvature search below runs on the index-ordered
-     points and is oblivious to execution order. *)
-  let points =
-    Parallel.parallel_map ~chunk:1 ~n:n_l (fun i ->
-        let lambda = lambdas.(i) in
-        Obs.Span.with_ "lambda.candidate" (fun sp ->
-            Obs.Span.set_float sp "lambda" lambda;
-            if not (usable_lambda lambda) then None
-            else
-              match Solver.solve_unconstrained ~lambda problem with
-              | exception Linalg.Singular _ -> None
-              | est ->
-                Obs.Span.set_float sp "misfit" est.Solver.data_misfit;
-                Obs.Span.set_float sp "roughness" est.Solver.roughness;
-                let x = log (Float.max 1e-300 est.Solver.data_misfit) in
-                let y = log (Float.max 1e-300 est.Solver.roughness) in
-                if Float.is_finite x && Float.is_finite y then Some (x, y) else None))
+(* Spectral k-fold: the folds are fixed across the sweep (every candidate
+   copies the same master), so each training subsystem gets exactly one
+   anchored factorization, reused by every λ — candidates then cost one
+   O(n²) spectral solution plus the held-out prediction error per fold.
+   Training Gram matrices are structurally rank-deficient here (a fold's
+   training set is smaller than the basis), which is precisely what the
+   anchored factorization exists for. *)
+let kfold_spectral problem ~fold_master ~k ~lambdas =
+  let a = Problem.design problem in
+  let w = Problem.weights problem in
+  let omega = Problem.penalty problem in
+  let b = problem.Problem.measurements in
+  let n = Array.length b in
+  (* Same derivation as each direct candidate's: copy the master, draw the
+     fold assignment once — bit-identical folds to the fallback path. *)
+  let folds =
+    Optimize.Cross_validation.kfold_indices (Rng.copy fold_master) ~n ~k
   in
+  let per_fold =
+    Array.map
+      (fun test ->
+        let in_test = Array.make n false in
+        Array.iter (fun i -> in_test.(i) <- true) test;
+        let train =
+          Array.of_list (List.filter (fun i -> not in_test.(i)) (List.init n (fun i -> i)))
+        in
+        let a_train = submatrix a train in
+        let w_train = subvec train w in
+        let fact =
+          Optimize.Spectral.factorize_problem ~a:a_train ~weights:w_train ~penalty:omega ()
+        in
+        let proj =
+          Optimize.Spectral.project_data fact ~a:a_train ~weights:w_train ~b:(subvec train b)
+        in
+        (fact, proj, test))
+      folds
+  in
+  (* Singular handled at the nearest boundary, as in [kfold_direct]: a fold
+     whose shifted system degenerates scores the candidate as infinitely
+     bad. *)
+  let score_of lambda =
+    match
+      let total = ref 0.0 in
+      Array.iter
+        (fun (fact, proj, test) ->
+          let x = Optimize.Spectral.solution fact proj ~lambda in
+          let acc = ref 0.0 in
+          Array.iter
+            (fun m ->
+              let predicted = Vec.dot (Mat.row a m) x in
+              let r = b.(m) -. predicted in
+              acc := !acc +. (w.(m) *. r *. r))
+            test;
+          total := !total +. (!acc /. float_of_int (Array.length test)))
+        per_fold;
+      !total /. float_of_int k
+    with
+    | total -> total
+    | exception Linalg.Singular _ -> Float.infinity
+  in
+  let best, curve = sweep ~lambdas ~score_of in
+  fail_if_all_non_finite ~selector:"k-fold CV" best.score;
+  (best.lambda, curve)
+
+let kfold problem ~rng ~k ~lambdas =
+  (* One fold master for the whole sweep so every λ sees the same folds.
+     [split] (not a truncated raw draw) keeps the derivation well-defined,
+     and each candidate scores against a private [copy] — the master is
+     never mutated during the sweep, so the fast path and the fallback
+     derive identical folds from it. *)
+  let fold_master = Rng.split rng in
+  match kfold_spectral problem ~fold_master ~k ~lambdas with
+  | result -> result
+  | exception Linalg.Singular _ -> kfold_direct problem ~fold_master ~k ~lambdas
+
+(* L-curve corner search over precomputed (log misfit, log roughness)
+   points — shared by the spectral fast path and the direct fallback. *)
+let lcurve_corner ~lambdas points =
+  let n_l = Array.length lambdas in
   if not (Array.exists Option.is_some points) then
     Robust.Error.raise_error (Robust.Error.Non_finite { stage = "lambda selection (L-curve)" });
   (* Discrete curvature via the circumscribed-circle formula on successive
@@ -173,13 +271,65 @@ let lcurve problem ~lambdas =
   done;
   (lambdas.(!best), curve)
 
+(* L-curve: evaluate misfit/roughness along the grid and find the corner —
+   the point of maximum discrete curvature of
+   (log misfit(λ), log roughness(λ)) (Hansen). The spectral path reads both
+   coordinates off the factorization in O(n) per candidate without ever
+   forming a solution; the fallback solves the unconstrained problem per
+   candidate, fanned out across the pool. Candidates whose evaluation fails
+   or yields non-finite coordinates are dropped (None): they take no part
+   in the curvature search, which runs on the index-ordered points and is
+   oblivious to execution order. *)
+let lcurve_points_spectral ?cache problem ~lambdas =
+  let fact, proj = spectral_projection ?cache problem in
+  Array.map
+    (fun lambda ->
+      Obs.Span.with_ "lambda.candidate" (fun sp ->
+          Obs.Span.set_float sp "lambda" lambda;
+          if not (usable_lambda lambda) then None
+          else
+            match Optimize.Spectral.evaluate fact proj ~lambda with
+            | exception Linalg.Singular _ -> None
+            | s ->
+              Obs.Span.set_float sp "misfit" s.Optimize.Spectral.rss;
+              Obs.Span.set_float sp "roughness" s.Optimize.Spectral.roughness;
+              let x = log (Float.max 1e-300 s.Optimize.Spectral.rss) in
+              let y = log (Float.max 1e-300 s.Optimize.Spectral.roughness) in
+              if Float.is_finite x && Float.is_finite y then Some (x, y) else None))
+    lambdas
+
+let lcurve_points_direct problem ~lambdas =
+  Parallel.parallel_map ~chunk:1 ~n:(Array.length lambdas) (fun i ->
+      let lambda = lambdas.(i) in
+      Obs.Span.with_ "lambda.candidate" (fun sp ->
+          Obs.Span.set_float sp "lambda" lambda;
+          if not (usable_lambda lambda) then None
+          else
+            match Solver.solve_unconstrained ~lambda problem with
+            | exception Linalg.Singular _ -> None
+            | est ->
+              Obs.Span.set_float sp "misfit" est.Solver.data_misfit;
+              Obs.Span.set_float sp "roughness" est.Solver.roughness;
+              let x = log (Float.max 1e-300 est.Solver.data_misfit) in
+              let y = log (Float.max 1e-300 est.Solver.roughness) in
+              if Float.is_finite x && Float.is_finite y then Some (x, y) else None))
+
+let lcurve ?cache problem ~lambdas =
+  assert (Array.length lambdas >= 3);
+  let points =
+    match lcurve_points_spectral ?cache problem ~lambdas with
+    | points -> points
+    | exception Linalg.Singular _ -> lcurve_points_direct problem ~lambdas
+  in
+  lcurve_corner ~lambdas points
+
 let method_name = function
   | `Fixed _ -> "fixed"
   | `Gcv -> "gcv"
   | `Lcurve -> "lcurve"
   | `Kfold _ -> "kfold"
 
-let select_with_curve problem ~method_ ?rng ?lambdas () =
+let select_with_curve problem ~method_ ?rng ?lambdas ?cache () =
   let lambdas = match lambdas with Some l -> l | None -> Lazy.force default_grid in
   Obs.Span.with_ "lambda.select" (fun sp ->
       Obs.Span.set_str sp "method" (method_name method_);
@@ -192,8 +342,8 @@ let select_with_curve problem ~method_ ?rng ?lambdas () =
             Robust.Error.raise_error
               (Robust.Error.Invalid_input
                  { field = "lambda"; why = Printf.sprintf "fixed lambda %g is not usable" lambda })
-        | `Gcv -> gcv problem ~lambdas
-        | `Lcurve -> lcurve problem ~lambdas
+        | `Gcv -> gcv ?cache problem ~lambdas
+        | `Lcurve -> lcurve ?cache problem ~lambdas
         | `Kfold k ->
           let rng = match rng with Some r -> r | None -> Rng.create 42 in
           kfold problem ~rng ~k ~lambdas
@@ -213,15 +363,15 @@ let select_with_curve problem ~method_ ?rng ?lambdas () =
              ());
       (chosen, curve))
 
-let select problem ~method_ ?rng ?lambdas () =
-  fst (select_with_curve problem ~method_ ?rng ?lambdas ())
+let select problem ~method_ ?rng ?lambdas ?cache () =
+  fst (select_with_curve problem ~method_ ?rng ?lambdas ?cache ())
 
-let select_result problem ~method_ ?rng ?lambdas () =
-  match select problem ~method_ ?rng ?lambdas () with
+let select_result problem ~method_ ?rng ?lambdas ?cache () =
+  match select problem ~method_ ?rng ?lambdas ?cache () with
   | lambda -> Ok lambda
   | exception Robust.Error.Error e -> Error e
 
-let select_with_curve_result problem ~method_ ?rng ?lambdas () =
-  match select_with_curve problem ~method_ ?rng ?lambdas () with
+let select_with_curve_result problem ~method_ ?rng ?lambdas ?cache () =
+  match select_with_curve problem ~method_ ?rng ?lambdas ?cache () with
   | r -> Ok r
   | exception Robust.Error.Error e -> Error e

@@ -1,11 +1,23 @@
 (** Data-driven selection of the smoothing parameter λ of paper eq. 5
-    ("λ ... may be selected via cross validation", citing Craven–Wahba). *)
+    ("λ ... may be selected via cross validation", citing Craven–Wahba).
+
+    All selectors run on a spectral fast path by default: one
+    Demmler–Reinsch factorization of the penalized system
+    ({!Optimize.Spectral}) turns every λ candidate's misfit, roughness and
+    edf into O(n) diagonal operations, so a k-candidate sweep costs about
+    one factorization instead of k Cholesky solves. When the factorization
+    fails ({!Numerics.Linalg.Singular} even with the anchored Gram side)
+    the selectors transparently fall back to the direct per-candidate
+    path; the two paths agree to rounding (the equivalence tests pin
+    ≤1e-8). Pass [cache] to reuse factorizations across solves that share
+    a kernel (batch genes, bootstrap replicates). *)
 
 open Numerics
 
 type curve_point = { lambda : float; score : float }
 
-val gcv : Problem.t -> lambdas:Vec.t -> float * curve_point array
+val gcv :
+  ?cache:Optimize.Spectral.Cache.t -> Problem.t -> lambdas:Vec.t -> float * curve_point array
 (** Robust generalized cross-validation on the unconstrained smoothing
     problem: score(λ) = N·RSS_w / (N − γ·edf)² with γ = 1.4 (Cummins,
     Filloon & Nychka). Plain GCV (γ = 1) occasionally collapses to a
@@ -18,9 +30,14 @@ val kfold :
 (** k-fold cross-validation: each fold refits on the remaining measurements
     (unconstrained, for speed and because constraints are
     data-independent) and scores weighted squared error on the held-out
-    measurements. *)
+    measurements. On the fast path each fold's training subsystem is
+    factored exactly once (anchored — training Gram matrices are smaller
+    than the basis and hence rank-deficient) and reused by every
+    candidate. The fold assignment is derived identically on both paths,
+    so a fallback changes the arithmetic route, not the folds. *)
 
-val lcurve : Problem.t -> lambdas:Vec.t -> float * curve_point array
+val lcurve :
+  ?cache:Optimize.Spectral.Cache.t -> Problem.t -> lambdas:Vec.t -> float * curve_point array
 (** L-curve selection: pick the λ of maximum curvature of the parametric
     curve (log misfit, log roughness) over the grid (Hansen's criterion).
     The returned curve's [score] field carries the (negated) discrete
@@ -37,6 +54,7 @@ val select_with_curve :
   method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
   ?rng:Rng.t ->
   ?lambdas:Vec.t ->
+  ?cache:Optimize.Spectral.Cache.t ->
   unit ->
   float * curve_point array
 (** As {!select}, also returning the full candidate profile the selector
@@ -49,6 +67,7 @@ val select :
   method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
   ?rng:Rng.t ->
   ?lambdas:Vec.t ->
+  ?cache:Optimize.Spectral.Cache.t ->
   unit ->
   float
 (** Unified entry point; the default grid is 25 points, logarithmic in
@@ -66,6 +85,7 @@ val select_result :
   method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
   ?rng:Rng.t ->
   ?lambdas:Vec.t ->
+  ?cache:Optimize.Spectral.Cache.t ->
   unit ->
   (float, Robust.Error.t) result
 (** As {!select}, returning the typed error instead of raising. *)
@@ -75,6 +95,7 @@ val select_with_curve_result :
   method_:[ `Gcv | `Kfold of int | `Lcurve | `Fixed of float ] ->
   ?rng:Rng.t ->
   ?lambdas:Vec.t ->
+  ?cache:Optimize.Spectral.Cache.t ->
   unit ->
   (float * curve_point array, Robust.Error.t) result
 (** As {!select_with_curve}, returning the typed error instead of

@@ -9,6 +9,8 @@ type t = {
   use_positivity : bool;
   use_conservation : bool;
   use_rate_continuity : bool;
+  design : Mat.t;
+  penalty : Mat.t;
 }
 
 let create ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_continuity = true)
@@ -49,6 +51,13 @@ let create ?(use_positivity = true) ?(use_conservation = true) ?(use_rate_contin
     use_positivity;
     use_conservation;
     use_rate_continuity;
+    (* Assembled once here: kernel- and basis-derived matrices are
+       invariant under the record updates the codebase performs (new
+       measurements/sigmas for bootstrap resamples and input repair), and
+       recomputing them dominated every λ-sweep before the spectral fast
+       path. Swapping the kernel or basis must go through [create]. *)
+    design = Forward.matrix_basis kernel basis;
+    penalty = Spline.Penalty.second_derivative basis;
   }
 
 let num_measurements t = Array.length t.measurements
@@ -68,6 +77,6 @@ let validate t =
 
 let weights t = Array.map (fun s -> 1.0 /. (s *. s)) t.sigmas
 
-let design t = Forward.matrix_basis t.kernel t.basis
+let design t = t.design
 
-let penalty t = Spline.Penalty.second_derivative t.basis
+let penalty t = t.penalty

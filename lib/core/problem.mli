@@ -12,6 +12,12 @@ type t = {
   use_positivity : bool;
   use_conservation : bool;
   use_rate_continuity : bool;
+  design : Mat.t;
+      (** forward matrix A·Ψ, assembled once by {!create} — prefer the
+          {!design} accessor *)
+  penalty : Mat.t;
+      (** roughness penalty Ω, assembled once by {!create} — prefer the
+          {!penalty} accessor *)
 }
 
 val create :
@@ -43,7 +49,10 @@ val weights : t -> Vec.t
 (** 1/σ_m² — the weights of the data-fidelity term in eq. 5. *)
 
 val design : t -> Mat.t
-(** Forward matrix A·Ψ from coefficients to predicted measurements. *)
+(** Forward matrix A·Ψ from coefficients to predicted measurements.
+    Precomputed by {!create}: every λ candidate, fold and bootstrap
+    replicate reads the same assembly instead of re-integrating the
+    kernel against the basis. *)
 
 val penalty : t -> Mat.t
-(** Roughness penalty Ω for the basis (cached per call site). *)
+(** Roughness penalty Ω for the basis. Precomputed by {!create}. *)

@@ -66,9 +66,10 @@ let finish problem lambda a w omega (alpha : Vec.t) iterations active =
     qp_iterations = iterations;
   }
 
-(* The full constrained solve, returning the QP status alongside the
-   estimate so the cascade can distinguish "converged" from "gave up". *)
-let solve_constrained ?on_iteration ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100)
+(* The full constrained solve, returning the raw QP solution alongside the
+   estimate so the cascade can distinguish "converged" from "gave up" and
+   reuse the iterate + active set to warm-start the next retry. *)
+let solve_constrained ?warm_start ?on_iteration ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 100)
     ?(fail_on_stall = true) ~lambda problem =
   Obs.Span.with_ "solver.constrained" (fun sp ->
       Obs.Span.set_float sp "lambda" lambda;
@@ -88,7 +89,9 @@ let solve_constrained ?on_iteration ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 10
         else (None, None)
       in
       let qp = { Optimize.Qp.h; g = g_lin; c_eq; d_eq; a_ineq; b_ineq } in
-      let solution = Optimize.Qp.solve ?on_iteration ~tol ~max_iter ~fail_on_stall qp in
+      let solution =
+        Optimize.Qp.solve ?warm_start ?on_iteration ~tol ~max_iter ~fail_on_stall qp
+      in
       let est =
         finish problem lambda a w omega solution.Optimize.Qp.x solution.Optimize.Qp.iterations
           (List.length solution.Optimize.Qp.active)
@@ -98,25 +101,64 @@ let solve_constrained ?on_iteration ?(ridge = 0.0) ?(tol = 1e-9) ?(max_iter = 10
       Obs.Metrics.incr "solver.constrained_solves";
       Obs.Metrics.incr ~by:(float_of_int est.qp_iterations) "solver.qp_iterations";
       Obs.Metrics.observe "solver.active_positivity" (float_of_int est.active_positivity);
-      (est, solution.Optimize.Qp.status))
+      (est, solution))
 
-let solve ?budget ?(lambda = 1e-4) ?ridge problem =
+(* Spectral warm-start hint for the constrained QP at λ: the unconstrained
+   minimizer read off the (cached) Demmler–Reinsch factorization. A failed
+   factorization just means a cold start — the hint is an optimization,
+   never a requirement. *)
+let spectral_warm_start ?cache problem ~lambda =
+  match
+    let a = Problem.design problem in
+    let w = Problem.weights problem in
+    let omega = Problem.penalty problem in
+    let fact = Optimize.Spectral.factorize_problem ?cache ~a ~weights:w ~penalty:omega () in
+    let proj =
+      Optimize.Spectral.project_data fact ~a ~weights:w ~b:problem.Problem.measurements
+    in
+    Optimize.Spectral.solution fact proj ~lambda
+  with
+  | x0 -> Some { Optimize.Qp.x0; active0 = [] }
+  | exception Linalg.Singular _ -> None
+
+let solve ?budget ?(lambda = 1e-4) ?ridge ?cache problem =
   let on_iteration = Option.map Robust.Budget.on_iteration budget in
+  (* A caller-supplied factorization cache opts the solve into the spectral
+     warm start: genes/replicates sharing one kernel pay for the
+     factorization once and every subsequent QP starts from its own
+     unconstrained spectral solution. Without a cache the solve is the
+     cold-start path, unchanged. *)
+  let warm_start =
+    match cache with
+    | None -> None
+    | Some _ -> spectral_warm_start ?cache problem ~lambda
+  in
   (* The boundary of the typed-error contract for the raw (non-cascade)
      entry point: internal numeric exceptions become Robust.Error here, so
      direct callers — Batch.solve_gene, Bootstrap.residual's replicate
      re-solves — never see a bare Singular/Infeasible. *)
-  match fst (solve_constrained ?on_iteration ?ridge ~lambda problem) with
+  match fst (solve_constrained ?warm_start ?on_iteration ?ridge ~lambda problem) with
   | est -> est
   | exception Linalg.Singular _ ->
     Robust.Error.raise_error (Robust.Error.Ill_conditioned { cond = Float.infinity })
   | exception Optimize.Qp.Infeasible _ ->
     Robust.Error.raise_error (Robust.Error.Qp_stalled { iterations = 0 })
 
-let solve_unconstrained ?(lambda = 1e-4) ?ridge problem =
-  let a, w, omega, h, g_lin = quadratic_pieces ?ridge problem lambda in
-  let alpha = Optimize.Qp.unconstrained h g_lin in
-  finish problem lambda a w omega alpha 0 0
+let solve_unconstrained ?(lambda = 1e-4) ?ridge ?spectral problem =
+  match (spectral, ridge) with
+  | Some (fact, proj), (None | Some 0.0) ->
+    (* Demmler–Reinsch fast path: the unconstrained minimizer is a diagonal
+       rescale in the factorization's basis. A ridge disqualifies it — the
+       ridge perturbs the Gram side the factorization was built on. *)
+    let a = Problem.design problem in
+    let w = Problem.weights problem in
+    let omega = Problem.penalty problem in
+    let alpha = Optimize.Spectral.solution fact proj ~lambda in
+    finish problem lambda a w omega alpha 0 0
+  | _ ->
+    let a, w, omega, h, g_lin = quadratic_pieces ?ridge problem lambda in
+    let alpha = Optimize.Qp.unconstrained h g_lin in
+    finish problem lambda a w omega alpha 0 0
 
 let naive problem =
   (* λ chosen only to make the normal matrix invertible; relative to the
@@ -240,7 +282,7 @@ let estimate_of_richardson_lucy problem lambda (rl : Richardson_lucy.result) =
     qp_iterations = rl.Richardson_lucy.iterations;
   }
 
-let solve_robust_validated ~policy ~budget ~lambda problem =
+let solve_robust_validated ?cache ~policy ~budget ~lambda problem =
   let attempts = ref [] in
   (* One budget covers the whole cascade: iterations spent by an attempt
      that failed still count against the later stages, and a blown budget
@@ -317,6 +359,13 @@ let solve_robust_validated ~policy ~budget ~lambda problem =
     in
     let last_error = ref (Robust.Error.Non_finite { stage = "solver" }) in
     let result = ref None in
+    (* Warm-start state for stage 1: seeded from the spectral unconstrained
+       solution when a factorization cache is in play, then replaced by the
+       previous attempt's iterate + active set across the escalation
+       retries (neighboring λ share their active faces). *)
+    let warm =
+      ref (match cache with None -> None | Some _ -> spectral_warm_start ?cache problem ~lambda)
+    in
     (* Stage 1: constrained QP with bounded retry — escalating λ boost and
        ridge floor over the regularization strength. *)
     let k = ref 0 in
@@ -338,7 +387,7 @@ let solve_robust_validated ~policy ~budget ~lambda problem =
           in
           let t0 = Obs.Clock.now () in
           match
-            solve_constrained ~on_iteration ~ridge ~tol:policy.qp_tol
+            solve_constrained ?warm_start:!warm ~on_iteration ~ridge ~tol:policy.qp_tol
               ~max_iter:policy.qp_max_iter ~fail_on_stall:false ~lambda:lam problem
           with
       | exception Robust.Error.Error e ->
@@ -356,11 +405,15 @@ let solve_robust_validated ~policy ~budget ~lambda problem =
         let e = Robust.Error.Qp_stalled { iterations = policy.qp_max_iter } in
         record ~iters:policy.qp_max_iter Robust.Report.Constrained_qp lam ridge t0 (Error e);
         last_error := e
-      | est, Optimize.Qp.Stalled ->
+      | est, ({ Optimize.Qp.status = Optimize.Qp.Stalled; _ } as sol) ->
+        (* The stalled iterate is still the best point seen at this λ —
+           reuse it (and its active set) to start the boosted retry. *)
+        if finite_vec sol.Optimize.Qp.x then
+          warm := Some { Optimize.Qp.x0 = sol.Optimize.Qp.x; active0 = sol.Optimize.Qp.active };
         let e = Robust.Error.Qp_stalled { iterations = est.qp_iterations } in
         record ~iters:est.qp_iterations Robust.Report.Constrained_qp lam ridge t0 (Error e);
         last_error := e
-      | est, Optimize.Qp.Converged ->
+      | est, { Optimize.Qp.status = Optimize.Qp.Converged; _ } ->
         if finite_estimate est then begin
           record ~iters:est.qp_iterations Robust.Report.Constrained_qp lam ridge t0 (Ok ());
           let degradation =
@@ -485,7 +538,7 @@ let solve_robust_validated ~policy ~budget ~lambda problem =
       Ok (est, rep)
     | None -> Error !last_error)
 
-let solve_robust ?(policy = default_policy) ?budget ?(lambda = 1e-4) problem =
+let solve_robust ?(policy = default_policy) ?budget ?(lambda = 1e-4) ?cache problem =
   Obs.Span.with_ "solver.solve_robust" (fun sp ->
       Obs.Span.set_float sp "lambda" lambda;
       let budget =
@@ -496,7 +549,7 @@ let solve_robust ?(policy = default_policy) ?budget ?(lambda = 1e-4) problem =
           Error
             (Robust.Error.Invalid_input
                { field = "lambda"; why = Printf.sprintf "%g is not finite and >= 0" lambda })
-        else solve_robust_validated ~policy ~budget ~lambda problem
+        else solve_robust_validated ?cache ~policy ~budget ~lambda problem
       in
       (match result with
       | Ok (_, rep) ->

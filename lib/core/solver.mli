@@ -18,7 +18,13 @@ type estimate = {
   qp_iterations : int;
 }
 
-val solve : ?budget:Robust.Budget.t -> ?lambda:float -> ?ridge:float -> Problem.t -> estimate
+val solve :
+  ?budget:Robust.Budget.t ->
+  ?lambda:float ->
+  ?ridge:float ->
+  ?cache:Optimize.Spectral.Cache.t ->
+  Problem.t ->
+  estimate
 (** Default λ = 1e-4 (use {!Lambda} for data-driven selection). [ridge]
     (default 0) adds ridge·I to the normal matrix — the knob the robust
     cascade escalates to fight ill-conditioning. [budget] (default
@@ -26,11 +32,27 @@ val solve : ?budget:Robust.Budget.t -> ?lambda:float -> ?ridge:float -> Problem.
     the solve raises {!Robust.Error.Error} [(Budget_exhausted _)]. All
     failures cross this boundary as {!Robust.Error.Error}: a singular
     system surfaces as [Ill_conditioned], an infeasible QP as
-    [Qp_stalled] — never a bare internal exception. *)
+    [Qp_stalled] — never a bare internal exception.
 
-val solve_unconstrained : ?lambda:float -> ?ridge:float -> Problem.t -> estimate
+    [cache] opts the solve into the spectral warm start: the constrained
+    QP starts from the unconstrained Demmler–Reinsch solution at λ (the
+    factorization coming from / going into the cache), which typically
+    saves the interior-point method its early centering iterations.
+    Results are unaffected beyond the QP tolerance — the warm start moves
+    the starting iterate, not the optimum. *)
+
+val solve_unconstrained :
+  ?lambda:float ->
+  ?ridge:float ->
+  ?spectral:Optimize.Spectral.t * Optimize.Spectral.projection ->
+  Problem.t ->
+  estimate
 (** The same objective ignoring all constraints — the pure smoothing-spline
-    baseline (used for λ selection and ablations). *)
+    baseline (used for λ selection and ablations). [spectral] supplies a
+    prebuilt Demmler–Reinsch factorization + data projection of this
+    problem: the solve becomes an O(n²) diagonal rescale instead of a
+    Cholesky factorization. Ignored when a nonzero [ridge] is requested
+    (the ridge perturbs the factored system). *)
 
 val naive : Problem.t -> estimate
 (** The no-regularization baseline: λ = 0 with a vanishing ridge for
@@ -77,9 +99,13 @@ val solve_robust :
   ?policy:policy ->
   ?budget:Robust.Budget.t ->
   ?lambda:float ->
+  ?cache:Optimize.Spectral.Cache.t ->
   Problem.t ->
   (estimate * Robust.Report.t, Robust.Error.t) result
-(** Fault-tolerant solve. The cascade:
+(** Fault-tolerant solve. [cache] enables the spectral warm start for the
+    first constrained attempt (see {!solve}); escalation retries always
+    warm-start from the previous attempt's iterate and active set —
+    neighboring λ share their active faces. The cascade:
 
     {ol
      {- repair inputs (if [policy.repair_inputs]) and {!Problem.validate};

@@ -191,6 +191,40 @@ let qr_lstsq a b =
   done;
   x
 
+(* Forward substitution L y = b against a lower-triangular factor. The
+   inner loops index the backing array directly: these solves run 2n+n
+   times per spectral factorization, where cross-module Mat.get's boxed
+   float returns were a measurable share of the cost. *)
+let lower_solve (l : cholesky) b =
+  let n = l.Mat.rows in
+  assert (Array.length b = n);
+  let ld = l.Mat.data in
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    let irow = i * n in
+    for j = 0 to i - 1 do
+      acc := !acc -. (ld.(irow + j) *. y.(j))
+    done;
+    y.(i) <- !acc /. ld.(irow + i)
+  done;
+  y
+
+(* Back substitution Lᵀ x = b against the same lower-triangular factor. *)
+let lower_transpose_solve (l : cholesky) b =
+  let n = l.Mat.rows in
+  assert (Array.length b = n);
+  let ld = l.Mat.data in
+  let x = Array.copy b in
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (ld.((j * n) + i) *. x.(j))
+    done;
+    x.(i) <- !acc /. ld.((i * n) + i)
+  done;
+  x
+
 let solve_sym_indefinite a b = solve a b
 
 let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 64) a =
@@ -198,11 +232,18 @@ let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 64) a =
   assert (n = m);
   let d = Mat.copy a in
   let v = Mat.identity n in
+  (* The rotation loops index the backing arrays directly: at the small
+     sizes this eigensolver runs on (spline bases, n ~ 12-20), the
+     cross-module Mat.get/set calls — each returning a boxed float —
+     cost an order of magnitude more than the arithmetic itself. Same
+     operations in the same order, so results are bit-identical. *)
+  let dd = d.Mat.data and vd = v.Mat.data in
   let off_diagonal_norm () =
     let acc = ref 0.0 in
     for i = 0 to n - 1 do
       for j = i + 1 to n - 1 do
-        acc := !acc +. (2.0 *. Mat.get d i j *. Mat.get d i j)
+        let x = dd.((i * n) + j) in
+        acc := !acc +. (2.0 *. x *. x)
       done
     done;
     sqrt !acc
@@ -213,9 +254,9 @@ let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 64) a =
     incr sweep;
     for p = 0 to n - 2 do
       for q = p + 1 to n - 1 do
-        let apq = Mat.get d p q in
+        let apq = dd.((p * n) + q) in
         if Float.abs apq > 1e-300 then begin
-          let app = Mat.get d p p and aqq = Mat.get d q q in
+          let app = dd.((p * n) + p) and aqq = dd.((q * n) + q) in
           let theta = (aqq -. app) /. (2.0 *. apq) in
           let t =
             let s = if theta >= 0.0 then 1.0 else -1.0 in
@@ -225,19 +266,22 @@ let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 64) a =
           let s = t *. c in
           (* Rotate rows/columns p and q. *)
           for k = 0 to n - 1 do
-            let dkp = Mat.get d k p and dkq = Mat.get d k q in
-            Mat.set d k p ((c *. dkp) -. (s *. dkq));
-            Mat.set d k q ((s *. dkp) +. (c *. dkq))
+            let kp = (k * n) + p and kq = (k * n) + q in
+            let dkp = dd.(kp) and dkq = dd.(kq) in
+            dd.(kp) <- (c *. dkp) -. (s *. dkq);
+            dd.(kq) <- (s *. dkp) +. (c *. dkq)
+          done;
+          let prow = p * n and qrow = q * n in
+          for k = 0 to n - 1 do
+            let dpk = dd.(prow + k) and dqk = dd.(qrow + k) in
+            dd.(prow + k) <- (c *. dpk) -. (s *. dqk);
+            dd.(qrow + k) <- (s *. dpk) +. (c *. dqk)
           done;
           for k = 0 to n - 1 do
-            let dpk = Mat.get d p k and dqk = Mat.get d q k in
-            Mat.set d p k ((c *. dpk) -. (s *. dqk));
-            Mat.set d q k ((s *. dpk) +. (c *. dqk))
-          done;
-          for k = 0 to n - 1 do
-            let vkp = Mat.get v k p and vkq = Mat.get v k q in
-            Mat.set v k p ((c *. vkp) -. (s *. vkq));
-            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+            let kp = (k * n) + p and kq = (k * n) + q in
+            let vkp = vd.(kp) and vkq = vd.(kq) in
+            vd.(kp) <- (c *. vkp) -. (s *. vkq);
+            vd.(kq) <- (s *. vkp) +. (c *. vkq)
           done
         end
       done
@@ -250,6 +294,40 @@ let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 64) a =
   let sorted_values = Array.map (fun i -> eigenvalues.(i)) order in
   let sorted_vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
   (sorted_values, sorted_vectors)
+
+let generalized_eigen_spd s omega =
+  let n, m = Mat.dims s in
+  assert (n = m);
+  assert (Mat.dims omega = (n, n));
+  let l = cholesky_factor s in
+  (* K = L⁻¹ Ω L⁻ᵀ, built in two triangular sweeps: M = L⁻¹Ω column by
+     column, then row j of K = L⁻¹ (row j of M) since Kᵀ = L⁻¹Mᵀ. *)
+  let mid = Mat.zeros n n in
+  for j = 0 to n - 1 do
+    Mat.set_col mid j (lower_solve l (Mat.col omega j))
+  done;
+  let k = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    Mat.set_row k i (lower_solve l (Mat.row mid i))
+  done;
+  (* Symmetrize: the two sweeps agree only up to rounding, and the Jacobi
+     rotations assume exact symmetry. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = 0.5 *. (Mat.get k i j +. Mat.get k j i) in
+      Mat.set k i j v;
+      Mat.set k j i v
+    done
+  done;
+  let values, u = jacobi_eigen k in
+  (* Ω is PSD by contract; clamp the rounding-level negatives so downstream
+     spectral weights 1/(1+λγ) stay monotone in λ. *)
+  let gamma = Array.map (fun v -> Float.max 0.0 v) values in
+  let b = Mat.zeros n n in
+  for j = 0 to n - 1 do
+    Mat.set_col b j (lower_transpose_solve l (Mat.col u j))
+  done;
+  (gamma, b)
 
 let singular_values a =
   let m, n = Mat.dims a in

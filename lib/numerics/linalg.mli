@@ -47,6 +47,23 @@ val jacobi_eigen : ?tol:float -> ?max_sweeps:int -> Mat.t -> Vec.t * Mat.t
 (** [jacobi_eigen a] for symmetric [a] returns [(eigenvalues, eigenvectors)]
     with eigenvectors in columns, sorted by descending eigenvalue. *)
 
+val lower_solve : cholesky -> Vec.t -> Vec.t
+(** Forward substitution against the lower-triangular factor: solves
+    [L y = b]. *)
+
+val lower_transpose_solve : cholesky -> Vec.t -> Vec.t
+(** Back substitution against the transposed factor: solves [Lᵀ x = b]. *)
+
+val generalized_eigen_spd : Mat.t -> Mat.t -> Vec.t * Mat.t
+(** [generalized_eigen_spd s omega] solves the generalized symmetric
+    eigenproblem [omega b = s b Γ] for SPD [s] and symmetric PSD [omega]:
+    with [s = LLᵀ] (Cholesky) it diagonalizes [K = L⁻¹ omega L⁻ᵀ] by
+    {!jacobi_eigen} and returns [(gamma, b)] where the columns of
+    [b = L⁻ᵀU] satisfy [bᵀ s b = I] and [bᵀ omega b = diag gamma], with
+    [gamma] descending and clamped at 0 (Ω is PSD by contract). This is the
+    Demmler–Reinsch construction behind the spectral λ fast path. Raises
+    {!Singular} when [s] is not numerically positive definite. *)
+
 val condition_spd : Mat.t -> float
 (** Spectral condition number estimate of a symmetric PSD matrix via
     {!jacobi_eigen}. *)

@@ -14,9 +14,15 @@
     - {b quality} — per-solve diag records joined by solve id and
       compared statistic-by-statistic, {e exactly}: quality numbers are
       deterministic given the inputs, so any bit-level difference in κ,
-      λ, edf, residual statistics or a λ-profile point is a reportable
-      drift, no tolerance applied. NaN = NaN counts as equal (both runs
-      failing to produce a statistic is not a delta).
+      λ, edf, residual statistics or a λ-profile λ value is a
+      reportable drift, no tolerance applied. NaN = NaN counts as equal
+      (both runs failing to produce a statistic is not a delta). The
+      single exception is λ-profile {e scores}, which compare within a
+      1e-3 relative band: a candidate score near the interpolation
+      boundary conditions like κ of the regularized system, so two
+      algebraically equivalent evaluation orders (normal equations vs
+      the spectral fast path) legitimately round ~ε·κ apart, while any
+      real selector change moves scores by percents.
 
     Together they let a perf PR prove "faster and bit-identical quality"
     from two trace files alone. *)

@@ -19,6 +19,8 @@ type solution = {
   status : status;
 }
 
+type warm_start = { x0 : Vec.t; active0 : int list }
+
 exception Infeasible of string
 
 let unconstrained h g = Linalg.solve_spd h (Vec.neg g)
@@ -57,7 +59,8 @@ let stationarity_residual problem x nu z =
    [sp] is the enclosing qp.solve span: each pass of the main loop emits
    one "qp.iteration" point on it, so a trace replays the convergence
    trajectory and the point count equals [solution.iterations]. *)
-let solve_interior_point ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem a b =
+let solve_interior_point ~sp ~warm_start ~on_iteration ~tol ~max_iter ~fail_on_stall problem
+    a b =
   let n = problem.h.Mat.rows in
   let m_ineq = a.Mat.rows in
   let n_eq = match problem.c_eq with Some c -> c.Mat.rows | None -> 0 in
@@ -66,6 +69,42 @@ let solve_interior_point ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem
   let y = ref (Vec.zeros n_eq) in
   let s = ref (Vec.ones m_ineq) in
   let z = ref (Vec.ones m_ineq) in
+  (match warm_start with
+  | None -> ()
+  | Some w ->
+    assert (Array.length w.x0 = n);
+    let ax = Mat.mv a w.x0 in
+    let hint_scale = Float.max 1.0 (Float.max (Vec.norm_inf b) (Vec.norm_inf ax)) in
+    let violation = ref 0.0 in
+    for i = 0 to m_ineq - 1 do
+      violation := Float.max !violation (b.(i) -. ax.(i))
+    done;
+    (* Adopt only nearly feasible hints (ringing-level violations, ≤10% of
+       the prediction scale). A badly infeasible x0 would pair tiny slacks
+       with a large primal residual — the fraction-to-boundary rule then
+       crawls, and the "warm" start costs more passes than the cold one it
+       replaces. Rejection keeps the cold defaults, so a poor hint can
+       never make a solve worse. *)
+    if !violation <= 0.1 *. hint_scale then begin
+      Obs.Span.set_bool sp "warm_adopted" true;
+      (* Start at the supplied point with slacks read off it, floored away
+         from the boundary, and duals on the central path at μ₀ = 0.1 —
+         one decade into the cold start's μ schedule, far enough that a
+         good hint saves the early centering passes, conservative enough
+         that a mediocre one costs nothing. *)
+      x := Vec.copy w.x0;
+      let slack_floor = 1e-2 *. hint_scale in
+      let mu0 = 1e-1 in
+      for i = 0 to m_ineq - 1 do
+        !s.(i) <- Float.max (ax.(i) -. b.(i)) slack_floor;
+        !z.(i) <- mu0 /. !s.(i)
+      done;
+      (* Constraints the caller believes are active get a unit dual so the
+         first step does not immediately walk off the active face. *)
+      List.iter
+        (fun i -> if i >= 0 && i < m_ineq then !z.(i) <- Float.max !z.(i) 1.0)
+        w.active0
+    end);
   let mf = float_of_int m_ineq in
   let duality_gap () = Vec.dot !s !z /. mf in
   let residuals () =
@@ -195,7 +234,7 @@ let solve_interior_point ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem
     status = (if !converged then Converged else Stalled);
   }
 
-let solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem =
+let solve_dispatch ~sp ~warm_start ~on_iteration ~tol ~max_iter ~fail_on_stall problem =
   let n = problem.h.Mat.rows in
   assert (Array.length problem.g = n);
   (* Direct solves count as one iteration; emit the matching single point
@@ -239,7 +278,7 @@ let solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem =
   | Some a, Some b ->
     assert (a.Mat.cols = n);
     assert (Array.length b = a.Mat.rows);
-    solve_interior_point ~sp ~on_iteration ~tol:(Float.max tol 1e-12) ~max_iter
+    solve_interior_point ~sp ~warm_start ~on_iteration ~tol:(Float.max tol 1e-12) ~max_iter
       ~fail_on_stall problem a b
   | Some _, None ->
     (* lint: allow R10 R11 -- mismatched optional-constraint pair is caller
@@ -247,13 +286,16 @@ let solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem =
        construction, and lib/optimize sits below lib/robust *)
     invalid_arg "Qp.solve: a_ineq without b_ineq"
 
-let solve ?on_iteration ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) problem =
+let solve ?warm_start ?on_iteration ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true)
+    problem =
   Obs.Span.with_ "qp.solve" (fun sp ->
       Obs.Span.set_int sp "n" problem.h.Mat.rows;
       Obs.Span.set_int sp "m_ineq"
         (match problem.a_ineq with Some a -> a.Mat.rows | None -> 0);
       Obs.Span.set_int sp "m_eq" (match problem.c_eq with Some c -> c.Mat.rows | None -> 0);
-      let sol = solve_dispatch ~sp ~on_iteration ~tol ~max_iter ~fail_on_stall problem in
+      Obs.Span.set_bool sp "warm_start" (Option.is_some warm_start);
+      if Option.is_some warm_start then Obs.Metrics.incr "qp.warm_starts";
+      let sol = solve_dispatch ~sp ~warm_start ~on_iteration ~tol ~max_iter ~fail_on_stall problem in
       Obs.Span.set_int sp "iterations" sol.iterations;
       Obs.Span.set_int sp "active" (List.length sol.active);
       Obs.Span.set_float sp "kkt_residual" sol.kkt_residual;
@@ -262,6 +304,11 @@ let solve ?on_iteration ?(tol = 1e-9) ?(max_iter = 100) ?(fail_on_stall = true) 
       Obs.Metrics.incr "qp.solves";
       Obs.Metrics.incr ~by:(float_of_int sol.iterations) "qp.iterations";
       Obs.Metrics.observe "qp.iterations_per_solve" (float_of_int sol.iterations);
+      (* Separate distribution for warm-started solves: comparing its
+         quantiles against qp.iterations_per_solve quantifies the
+         iteration savings the spectral warm start buys. *)
+      if Option.is_some warm_start then
+        Obs.Metrics.observe "qp.warm_iterations_per_solve" (float_of_int sol.iterations);
       Obs.Metrics.observe "qp.active_constraints" (float_of_int (List.length sol.active));
       if Obs.Diag.enabled () then
         Obs.Diag.emit

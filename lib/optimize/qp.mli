@@ -34,6 +34,19 @@ type solution = {
   status : status;
 }
 
+type warm_start = {
+  x0 : Vec.t;  (** initial primal point, length n *)
+  active0 : int list;  (** inequality rows believed active at the solution *)
+}
+(** Warm-start hint for the interior-point method — typically the spectral
+    unconstrained solution at the same λ ({!Spectral.solution}), or the
+    previous solution and active set when sweeping neighboring λ values
+    (the robust cascade's escalation retries). Affects only the starting
+    iterate: slacks are read off [x0] (floored away from the boundary) and
+    duals are placed on the central path at a small μ₀, so a good hint
+    saves the early centering iterations while a poor one degrades to the
+    cold-start trajectory. Ignored by direct equality-only solves. *)
+
 exception Infeasible of string
 
 val unconstrained : Mat.t -> Vec.t -> Vec.t
@@ -44,6 +57,7 @@ val solve_equality : Mat.t -> Vec.t -> c:Mat.t -> d:Vec.t -> Vec.t * Vec.t
     [(x, multipliers)]. *)
 
 val solve :
+  ?warm_start:warm_start ->
   ?on_iteration:(int -> unit) ->
   ?tol:float ->
   ?max_iter:int ->

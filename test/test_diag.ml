@@ -304,6 +304,38 @@ let test_trace_diff_quality_delta () =
   let d = Obs.Tracediff.diff na na in
   check_true "NaN on both sides is not a delta" (not (Obs.Tracediff.has_quality_delta d))
 
+let curve_diag curve =
+  Obs.Export.Diag
+    (Obs.Diag.make ~solve:"gene:0" ~stage:"lambda" ~values:[ ("chosen", 1e-4) ] ~curve ())
+
+let test_trace_diff_curve_score_band () =
+  (* Candidate scores near the interpolation boundary round ~ε·κ apart
+     between the direct and spectral evaluation orders; the curve-score
+     comparison tolerates that band so a perf PR's receipt stays clean. *)
+  let a = curve_diag [| (1e-6, 0.25); (1e-5, 1035.0397163648702); (1e-4, 0.5) |] in
+  let b = curve_diag [| (1e-6, 0.25); (1e-5, 1034.9733878200932); (1e-4, 0.5) |] in
+  let d = Obs.Tracediff.diff [ a ] [ b ] in
+  check_true "ε·κ-scale score rounding is not a delta"
+    (not (Obs.Tracediff.has_quality_delta d));
+  (* a percent-scale score change is a real selector drift *)
+  let b = curve_diag [| (1e-6, 0.25); (1e-5, 1035.0397163648702); (1e-4, 0.51) |] in
+  let d = Obs.Tracediff.diff [ a ] [ b ] in
+  check_true "2% score change is a delta" (Obs.Tracediff.has_quality_delta d);
+  (match d.Obs.Tracediff.quality with
+  | [ row ] ->
+    Alcotest.(check string) "reported at the drifting candidate" "lambda/curve[2].score"
+      row.Obs.Tracediff.stat
+  | rows -> Alcotest.failf "expected one quality row, got %d" (List.length rows));
+  (* the λ grid itself still compares bit-exactly *)
+  let b = curve_diag [| (1e-6, 0.25); (1.0000001e-5, 1035.0397163648702); (1e-4, 0.5) |] in
+  let d = Obs.Tracediff.diff [ a ] [ b ] in
+  check_true "a shifted grid point is a delta" (Obs.Tracediff.has_quality_delta d);
+  match d.Obs.Tracediff.quality with
+  | [ row ] ->
+    Alcotest.(check string) "reported as a lambda drift" "lambda/curve[1].lambda"
+      row.Obs.Tracediff.stat
+  | rows -> Alcotest.failf "expected one quality row, got %d" (List.length rows)
+
 let test_trace_diff_identical_run =
   (* The acceptance check: a trace diffed against itself is silent on both
      axes. Use the real traced solve so every event kind is exercised. *)
@@ -370,6 +402,7 @@ let tests =
         case "slowdown beyond tolerance regresses" test_trace_diff_regression;
         case "jitter and sub-floor spans pass" test_trace_diff_jitter_passes;
         case "quality drift is exact" test_trace_diff_quality_delta;
+        case "curve scores carry a relative band" test_trace_diff_curve_score_band;
         case "identical run diffs silent" test_trace_diff_identical_run;
       ] );
     ( "diag-stats",

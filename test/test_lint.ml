@@ -208,6 +208,26 @@ let test_r14_positive () =
   check_rules "bare reference is caught like an application" [ "R14" ]
     ~path:"lib/optimize/scratch.ml" "let f = Stats.moment_z"
 
+let test_r14_factorization_positive () =
+  check_rules "raw eigensolver call from lib/core" [ "R14" ] ~path:"lib/core/scratch.ml"
+    "let e a = Linalg.jacobi_eigen a";
+  check_rules "fully qualified generalized eigendecomposition" [ "R14" ]
+    ~path:"lib/core/scratch.ml" "let e s o = Numerics.Linalg.generalized_eigen_spd s o";
+  check_rules "triangular substitution outside the factorization layers" [ "R14" ]
+    ~path:"lib/cellpop/scratch.ml" "let s l b = Linalg.lower_solve l b";
+  check_rules "bare reference to the back substitution" [ "R14" ]
+    ~path:"lib/robust/scratch.ml" "let f = Linalg.lower_transpose_solve"
+
+let test_r14_factorization_negative () =
+  check_rules "lib/optimize wraps the eigensolver" [] ~path:"lib/optimize/scratch.ml"
+    "let e s o = Linalg.generalized_eigen_spd s o";
+  check_rules "lib/numerics implements the decompositions" []
+    ~path:"lib/numerics/scratch.ml" "let e a = jacobi_eigen a";
+  check_rules "factorization clause is lib-only" [] ~path:"test/scratch.ml"
+    "let e a = Linalg.jacobi_eigen a";
+  check_rules "cholesky itself stays available to lib/core" [] ~path:"lib/core/scratch.ml"
+    "let c a = Linalg.cholesky_factor a"
+
 let test_r14_negative () =
   check_rules "lib/numerics owns the statistic kernels" [] ~path:"lib/numerics/scratch.ml"
     "let z r = runs_z r\nlet k a = condition_spd a";
@@ -346,6 +366,8 @@ let tests =
         case "r13 negative" test_r13_negative;
         case "r14 positive" test_r14_positive;
         case "r14 negative" test_r14_negative;
+        case "r14 factorization positive" test_r14_factorization_positive;
+        case "r14 factorization negative" test_r14_factorization_negative;
       ] );
     ( "lint-suppress",
       [
